@@ -1,0 +1,543 @@
+(* Benchmark harness: regenerates every experiment of EXPERIMENTS.md.
+
+   The paper has no numbered result tables (its Figures 1-4 are
+   inference-rule figures); E1-E2 reproduce its explicit empirical
+   statements, E3-E6 are the benchmark set its future work (§10) calls
+   for, and E7 re-checks the worked examples.  See DESIGN.md §4.
+
+   Usage:
+     dune exec bench/main.exe            # all experiments, table mode
+     dune exec bench/main.exe -- E1 E3   # a subset
+     dune exec bench/main.exe -- --quick # smaller sweeps
+     dune exec bench/main.exe -- --micro # bechamel micro-benchmarks *)
+
+let quick = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* CPU-time measurement: run [f] until at least [budget] seconds have
+   been consumed (at least [min_runs] times) and report seconds/run. *)
+let time_per_run ?(budget = 0.2) ?(min_runs = 3) f =
+  ignore (f ());
+  let t0 = Sys.time () in
+  let rec go runs =
+    ignore (f ());
+    let elapsed = Sys.time () -. t0 in
+    if elapsed < budget || runs + 1 < min_runs then go (runs + 1)
+    else elapsed /. float_of_int (runs + 1)
+  in
+  go 0
+
+let ms t = t *. 1e3
+let us t = t *. 1e6
+
+let header title = Format.printf "@.=== %s ===@.@." title
+let row fmt = Format.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* E1: backtracking vs derivatives                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header
+    "E1  Backtracking (Fig. 1) vs derivatives (\xc2\xa76-7) \xe2\x80\x94 \
+     Example 5 shape, neighbourhood sweep";
+  let shape = Workload.Micro_gen.example5_shape () in
+  let focus = Workload.Micro_gen.focus in
+  let sizes = if !quick then [ 2; 4; 6; 8; 10 ] else [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
+  row "  %-4s %-8s  %-14s %-14s %-14s %-10s@." "n" "verdict" "backtrack-ops"
+    "backtrack" "derivatives" "speedup";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (label, g) ->
+          let verdict, ops = Shex.Backtrack.matches_count focus g shape in
+          let t_back =
+            time_per_run (fun () -> Shex.Backtrack.matches focus g shape)
+          in
+          let t_deriv =
+            time_per_run (fun () -> Shex.Deriv.matches focus g shape)
+          in
+          assert (Bool.equal verdict (label = "valid"));
+          assert (Bool.equal verdict (Shex.Deriv.matches focus g shape));
+          row "  %-4d %-8s  %-14d %11.2f us %11.2f us %9.0fx@." n label ops
+            (us t_back) (us t_deriv)
+            (t_back /. t_deriv))
+        [ ("valid", Workload.Micro_gen.example5_neighbourhood n);
+          ("invalid", Workload.Micro_gen.example5_neighbourhood_invalid n) ])
+    sizes;
+  row
+    "@.  Expectation (\xc2\xa75, \xc2\xa78): backtracking work grows ~2^n \
+     on failing inputs;@.  derivatives stay polynomial, so the speedup \
+     factor explodes with n.@."
+
+(* ------------------------------------------------------------------ *)
+(* E2: derivative expression growth (Example 10)                       *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  header
+    "E2  Derivative size growth on the balance checker (Example 10)";
+  let sizes = if !quick then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ] in
+  row "  %-4s %-12s %-12s %-12s %-14s@." "k" "initial" "max-size" "final"
+    "match-time";
+  List.iter
+    (fun k ->
+      let shape = Workload.Micro_gen.balanced_shape k in
+      let g = Workload.Micro_gen.balanced_neighbourhood k in
+      let dts =
+        Shex.Neigh.of_node Workload.Micro_gen.focus g
+      in
+      let max_size = ref (Shex.Rse.size shape) in
+      let final =
+        List.fold_left
+          (fun e dt ->
+            let e' = Shex.Deriv.deriv dt e in
+            max_size := max !max_size (Shex.Rse.size e');
+            e')
+          shape dts
+      in
+      assert (Shex.Rse.nullable final);
+      let t =
+        time_per_run (fun () ->
+            Shex.Deriv.matches Workload.Micro_gen.focus g shape)
+      in
+      row "  %-4d %-12d %-12d %-12d %11.2f us@." k (Shex.Rse.size shape)
+        !max_size (Shex.Rse.size final) (us t))
+    sizes;
+  row
+    "@.  Expectation (\xc2\xa76, Example 10): consuming an a-arc leaves a \
+     pending b-obligation,@.  so the intermediate expression grows with \
+     the number of open obligations.@."
+
+(* ------------------------------------------------------------------ *)
+(* E3: whole-graph validation throughput                               *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  header
+    "E3  Schema validation throughput \xe2\x80\x94 recursive Person schema \
+     (Examples 1/14), FOAF portals";
+  let sizes =
+    if !quick then [ 100; 300; 1000 ] else [ 100; 300; 1000; 3000; 10000 ]
+  in
+  let schema, _person = Workload.Foaf_gen.person_schema () in
+  row "  %-7s %-8s %-8s %-9s %-12s %-14s@." "persons" "triples" "valid"
+    "typed" "total" "per-person";
+  List.iter
+    (fun n ->
+      let profile =
+        { Workload.Foaf_gen.n_persons = n;
+          invalid_fraction = 0.1;
+          knows_degree = 3;
+          seed = 7 }
+      in
+      let { Workload.Foaf_gen.graph; valid; _ } =
+        Workload.Foaf_gen.generate profile
+      in
+      let typed = ref 0 in
+      let t =
+        time_per_run ~budget:0.3 (fun () ->
+            let session = Shex.Validate.session schema graph in
+            let typing = Shex.Validate.validate_graph session in
+            typed := Shex.Typing.cardinal typing)
+      in
+      assert (!typed = List.length valid);
+      row "  %-7d %-8d %-8d %-9d %9.2f ms %11.2f us@." n
+        (Rdf.Graph.cardinal graph)
+        (List.length valid) !typed (ms t)
+        (us (t /. float_of_int n)))
+    sizes;
+  row
+    "@.  Expectation: linear scaling \xe2\x80\x94 per-person cost roughly \
+     constant as the portal grows@.  (each neighbourhood is bounded; \
+     recursion is resolved once per node by the fixpoint).@."
+
+(* ------------------------------------------------------------------ *)
+(* E4: SORBE counting matcher vs generic derivatives                   *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header
+    "E4  SORBE counting matcher (\xc2\xa78 future work) vs generic \
+     derivatives \xe2\x80\x94 fan-out sweep";
+  let fans = if !quick then [ 1; 4; 16; 64 ] else [ 1; 4; 16; 64; 128; 256 ] in
+  row "  %-5s %-8s %-14s %-14s %-8s@." "f" "triples" "derivatives"
+    "counting" "ratio";
+  List.iter
+    (fun f ->
+      let shape = Workload.Micro_gen.wide_shape f in
+      let g = Workload.Micro_gen.wide_neighbourhood f in
+      let sorbe =
+        match Shex.Sorbe.of_rse shape with
+        | Some s -> s
+        | None -> failwith "wide_shape must be SORBE"
+      in
+      let focus = Workload.Micro_gen.focus in
+      assert (
+        Bool.equal
+          (Shex.Deriv.matches focus g shape)
+          (Shex.Sorbe.matches focus g sorbe));
+      let t_deriv = time_per_run (fun () -> Shex.Deriv.matches focus g shape) in
+      let t_sorbe = time_per_run (fun () -> Shex.Sorbe.matches focus g sorbe) in
+      row "  %-5d %-8d %11.2f us %11.2f us %7.1fx@." f (Rdf.Graph.cardinal g)
+        (us t_deriv) (us t_sorbe)
+        (t_deriv /. t_sorbe))
+    fans;
+  row
+    "@.  Expectation: the generic matcher rebuilds an O(f)-size \
+     expression per consumed triple@.  (O(f\xc2\xb2) total), while counting \
+     is O(f) per triple lookup-free \xe2\x80\x94 the gap widens with f.@."
+
+(* ------------------------------------------------------------------ *)
+(* E5: simplification ablation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  header
+    "E5  Ablation of derivative simplification: raw vs ACI vs \
+     ACI+factoring";
+  let focus = Workload.Micro_gen.focus in
+  let max_size ctors shape dts =
+    let mx = ref (Shex.Rse.size shape) in
+    let _ =
+      List.fold_left
+        (fun e dt ->
+          let e' = Shex.Deriv.deriv ~ctors dt e in
+          mx := max !mx (Shex.Rse.size e');
+          e')
+        shape dts
+    in
+    !mx
+  in
+  row "  -- Example 5 shape (raw constructors blow up even here) --@.";
+  let sizes = if !quick then [ 2; 4; 6; 8 ] else [ 2; 4; 6; 8; 10; 12 ] in
+  row "  %-4s %-12s %-12s %-14s %-14s@." "n" "smart-size" "raw-size" "smart"
+    "raw";
+  List.iter
+    (fun n ->
+      let shape = Workload.Micro_gen.example5_shape () in
+      let g = Workload.Micro_gen.example5_neighbourhood n in
+      let dts = Shex.Neigh.of_node focus g in
+      let smart_size = max_size Shex.Rse.smart_ctors shape dts in
+      let raw_size = max_size Shex.Rse.raw_ctors shape dts in
+      let t_smart = time_per_run (fun () -> Shex.Deriv.matches focus g shape) in
+      let t_raw =
+        time_per_run (fun () ->
+            Shex.Deriv.matches ~ctors:Shex.Rse.raw_ctors focus g shape)
+      in
+      row "  %-4d %-12d %-12d %11.2f us %11.2f us@." n smart_size raw_size
+        (us t_smart) (us t_raw))
+    sizes;
+  row
+    "@.  -- Balance checker (factoring is what keeps sizes linear) --@.";
+  let ks = if !quick then [ 2; 4; 6 ] else [ 2; 4; 6; 8; 10 ] in
+  row "  %-4s %-14s %-14s %-14s@." "k" "factored-size" "aci-size"
+    "raw-size";
+  List.iter
+    (fun k ->
+      let shape = Workload.Micro_gen.balanced_shape k in
+      let dts =
+        Shex.Neigh.of_node focus (Workload.Micro_gen.balanced_neighbourhood k)
+      in
+      (* The unfactored variants explode; beyond these caps they
+         exhaust memory, which is the point of the ablation. *)
+      let aci =
+        if k <= 8 then
+          string_of_int (max_size Shex.Rse.aci_ctors shape dts)
+        else "(>10^8)"
+      in
+      let raw =
+        if k <= 6 then
+          string_of_int (max_size Shex.Rse.raw_ctors shape dts)
+        else "(>10^8)"
+      in
+      row "  %-4d %-14d %-14s %-14s@." k
+        (max_size Shex.Rse.smart_ctors shape dts)
+        aci raw)
+    ks;
+  row
+    "@.  Expectation: raw constructors explode exponentially even on \
+     Example 5; ACI alone@.  still explodes on counting shapes; \
+     ACI+factoring stays linear in open obligations.@."
+
+(* ------------------------------------------------------------------ *)
+(* E6: SPARQL translation vs native derivatives                        *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  header
+    "E6  SPARQL translation (\xc2\xa73) vs native derivatives \xe2\x80\x94 \
+     non-recursive Person shape";
+  let foaf l = Rdf.Iri.of_string_exn ("http://xmlns.com/foaf/0.1/" ^ l) in
+  let shape =
+    Shex.Rse.and_all
+      [ Shex.Rse.arc_v (Shex.Value_set.Pred (foaf "age"))
+          Shex.Value_set.xsd_integer;
+        Shex.Rse.plus
+          (Shex.Rse.arc_v (Shex.Value_set.Pred (foaf "name"))
+             Shex.Value_set.xsd_string);
+        Shex.Rse.star
+          (Shex.Rse.arc_v (Shex.Value_set.Pred (foaf "knows"))
+             (Shex.Value_set.Obj_kind Shex.Value_set.Iri_kind)) ]
+  in
+  let sizes = if !quick then [ 100; 300 ] else [ 100; 300; 1000; 3000 ] in
+  row "  %-7s %-8s %-7s %-12s %-12s %-8s %-6s@." "persons" "triples"
+    "match" "derivatives" "SPARQL" "ratio" "agree";
+  List.iter
+    (fun n ->
+      let profile =
+        { Workload.Foaf_gen.n_persons = n;
+          invalid_fraction = 0.15;
+          knows_degree = 2;
+          seed = 99 }
+      in
+      let { Workload.Foaf_gen.graph; _ } = Workload.Foaf_gen.generate profile in
+      let deriv_nodes () =
+        List.filter
+          (fun node -> Shex.Deriv.matches node graph shape)
+          (Rdf.Graph.subjects graph)
+      in
+      let sparql_nodes () =
+        match Sparql.Gen.matching_nodes graph shape with
+        | Ok nodes -> nodes
+        | Error msg -> failwith msg
+      in
+      let d = deriv_nodes () and s = sparql_nodes () in
+      let agree = List.sort Rdf.Term.compare d = s in
+      let t_deriv = time_per_run ~budget:0.3 (fun () -> deriv_nodes ()) in
+      let t_sparql = time_per_run ~budget:0.3 (fun () -> sparql_nodes ()) in
+      row "  %-7d %-8d %-7d %9.2f ms %9.2f ms %7.1fx %-6b@." n
+        (Rdf.Graph.cardinal graph)
+        (List.length d) (ms t_deriv) (ms t_sparql)
+        (t_sparql /. t_deriv) agree)
+    sizes;
+  row
+    "@.  Expectation (\xc2\xa73): the verdicts agree, but the generated \
+     query carries counting@.  sub-SELECTs and NOT-EXISTS scans, so the \
+     SPARQL route costs a large constant factor@.  \xe2\x80\x94 and \
+     recursive shapes cannot be translated at all.@."
+
+(* ------------------------------------------------------------------ *)
+(* E8: engine comparison end-to-end                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  header
+    "E8  End-to-end engine comparison \xe2\x80\x94 derivatives vs \
+     auto-compiled counting (recursive Person schema)";
+  let sizes = if !quick then [ 100; 1000 ] else [ 100; 1000; 10000 ] in
+  let schema, _ = Workload.Foaf_gen.person_schema () in
+  row "  %-7s %-8s %-12s %-12s %-7s@." "persons" "triples" "derivatives"
+    "auto" "ratio";
+  List.iter
+    (fun n ->
+      let profile =
+        { Workload.Foaf_gen.n_persons = n;
+          invalid_fraction = 0.1;
+          knows_degree = 3;
+          seed = 7 }
+      in
+      let { Workload.Foaf_gen.graph; _ } =
+        Workload.Foaf_gen.generate profile
+      in
+      let run engine =
+        let typed = ref 0 in
+        let t =
+          time_per_run ~budget:0.3 (fun () ->
+              let session = Shex.Validate.session ~engine schema graph in
+              typed := Shex.Typing.cardinal (Shex.Validate.validate_graph session))
+        in
+        (t, !typed)
+      in
+      let t_deriv, n_deriv = run Shex.Validate.Derivatives in
+      let t_auto, n_auto = run Shex.Validate.Auto in
+      assert (n_deriv = n_auto);
+      row "  %-7d %-8d %9.2f ms %9.2f ms %6.1fx@." n
+        (Rdf.Graph.cardinal graph) (ms t_deriv) (ms t_auto)
+        (t_deriv /. t_auto))
+    sizes;
+  row
+    "@.  Expectation: the Person shape is single-occurrence, so Auto \
+     compiles it once to the@.  counting matcher; the end-to-end gap is \
+     smaller than E4's per-match gap because the@.  fixpoint bookkeeping \
+     and graph indexing are shared.@."
+
+(* ------------------------------------------------------------------ *)
+(* E7: paper worked examples                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  header "E7  Paper worked examples re-checked";
+  let ex name = Rdf.Iri.of_string_exn ("http://example.org/" ^ name) in
+  let node name = Rdf.Term.Iri (ex name) in
+  let num k = Rdf.Term.int k in
+  let t3 s p o = Rdf.Triple.make (node s) (ex p) o in
+  let arc_num p values =
+    Shex.Rse.arc_v
+      (Shex.Value_set.Pred (ex p))
+      (Shex.Value_set.obj_terms (List.map num values))
+  in
+  let example5 =
+    Shex.Rse.and_ (arc_num "a" [ 1 ]) (Shex.Rse.star (arc_num "b" [ 1; 2 ]))
+  in
+  let g8 =
+    Rdf.Graph.of_list
+      [ t3 "n" "a" (num 1); t3 "n" "b" (num 1); t3 "n" "b" (num 2) ]
+  in
+  let g12 =
+    Rdf.Graph.of_list
+      [ t3 "n" "a" (num 1); t3 "n" "a" (num 2); t3 "n" "b" (num 1) ]
+  in
+  let check name cond =
+    row "  %-66s %s@." name (if cond then "PASS" else "FAIL")
+  in
+  check "Example 3: a 3-triple graph has 2^3 = 8 decompositions"
+    (List.length (Rdf.Graph.decompositions g8) = 8);
+  check "Example 7: Sn[[e]] has exactly the 4 listed graphs"
+    (match Shex.Semantics.language ~node:(node "n") ~max_card:3 example5 with
+    | Ok gs -> List.length gs = 4
+    | Error _ -> false);
+  check "Example 8: backtracking accepts {a1, b1, b2}"
+    (Shex.Backtrack.matches (node "n") g8 example5);
+  check "Example 9: \xe2\x88\x82\xe2\x9f\xa8n,a,1\xe2\x9f\xa9(e) = (b\xe2\x86\x92{1,2})*"
+    (Shex.Rse.equal
+       (Shex.Deriv.deriv
+          (Shex.Neigh.out (t3 "n" "a" (num 1)))
+          example5)
+       (Shex.Rse.star (arc_num "b" [ 1; 2 ])));
+  check "Example 10: the balance checker's derivative grows"
+    (let e = Workload.Micro_gen.balanced_shape 2 in
+     Shex.Rse.size
+       (Shex.Deriv.deriv
+          (Shex.Neigh.out
+             (Rdf.Triple.make Workload.Micro_gen.focus
+                (Rdf.Iri.of_string_exn "http://example.org/a")
+                (num 1)))
+          e)
+     > Shex.Rse.size e);
+  check "Example 11: derivatives accept {a1, b1, b2}"
+    (Shex.Deriv.matches (node "n") g8 example5);
+  check "Example 12: derivatives reject {a1, a2, b1}"
+    (not (Shex.Deriv.matches (node "n") g12 example5));
+  let example2_graph =
+    Turtle.Parse.parse_graph_exn
+      "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n\
+       @prefix : <http://example.org/> .\n\
+       :john foaf:age 23; foaf:name \"John\"; foaf:knows :bob .\n\
+       :bob foaf:age 34; foaf:name \"Bob\", \"Robert\" .\n\
+       :mary foaf:age 50, 65 .\n"
+  in
+  let schema, person = Workload.Foaf_gen.person_schema () in
+  let session = Shex.Validate.session schema example2_graph in
+  check "Examples 1-2/14: john and bob are Persons, mary is not"
+    (Shex.Validate.check_bool session (node "john") person
+    && Shex.Validate.check_bool session (node "bob") person
+    && not (Shex.Validate.check_bool session (node "mary") person));
+  check "Example 4: the paper's SPARQL ASK finds a Person in Example 2"
+    (match Sparql.Eval.run example2_graph (Sparql.Gen.example4_query ()) with
+    | `Boolean b -> b
+    | `Solutions _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let focus = Workload.Micro_gen.focus in
+  let e5_shape = Workload.Micro_gen.example5_shape () in
+  let e5_graph = Workload.Micro_gen.example5_neighbourhood 8 in
+  let e5_bad = Workload.Micro_gen.example5_neighbourhood_invalid 8 in
+  let bal_shape = Workload.Micro_gen.balanced_shape 16 in
+  let bal_graph = Workload.Micro_gen.balanced_neighbourhood 16 in
+  let wide_shape = Workload.Micro_gen.wide_shape 64 in
+  let wide_graph = Workload.Micro_gen.wide_neighbourhood 64 in
+  let wide_sorbe = Option.get (Shex.Sorbe.of_rse wide_shape) in
+  let schema, _ = Workload.Foaf_gen.person_schema () in
+  let portal =
+    Workload.Foaf_gen.generate
+      { Workload.Foaf_gen.n_persons = 300;
+        invalid_fraction = 0.1;
+        knows_degree = 3;
+        seed = 7 }
+  in
+  let tests =
+    [ Test.make ~name:"E1/deriv-n8" (Staged.stage (fun () ->
+          Shex.Deriv.matches focus e5_graph e5_shape));
+      Test.make ~name:"E1/backtrack-n8" (Staged.stage (fun () ->
+          Shex.Backtrack.matches focus e5_bad e5_shape));
+      Test.make ~name:"E2/balanced-k16" (Staged.stage (fun () ->
+          Shex.Deriv.matches focus bal_graph bal_shape));
+      Test.make ~name:"E3/portal-300" (Staged.stage (fun () ->
+          let session = Shex.Validate.session schema portal.Workload.Foaf_gen.graph in
+          Shex.Validate.validate_graph session));
+      Test.make ~name:"E4/deriv-wide64" (Staged.stage (fun () ->
+          Shex.Deriv.matches focus wide_graph wide_shape));
+      Test.make ~name:"E4/sorbe-wide64" (Staged.stage (fun () ->
+          Shex.Sorbe.matches focus wide_graph wide_sorbe));
+      Test.make ~name:"E5/raw-ctors-n8" (Staged.stage (fun () ->
+          Shex.Deriv.matches ~ctors:Shex.Rse.raw_ctors focus e5_graph e5_shape))
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"shex" ~fmt:"%s %s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  header "Bechamel micro-benchmarks (monotonic clock, ns/run)";
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> row "  %-28s %12.1f ns/run@." name est
+          | _ -> row "  %-28s %a@." name Analyze.OLS.pp ols)
+        rows)
+    merged
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let run_micro = List.mem "--micro" args in
+  quick := List.mem "--quick" args;
+  let wanted =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let selected =
+    if wanted = [] then all_experiments
+    else
+      List.filter (fun (name, _) -> List.mem name wanted) all_experiments
+  in
+  Format.printf
+    "shex-derivatives benchmark harness \xe2\x80\x94 reproducing the \
+     EDBT/ICDT 2015 workshops paper@.";
+  if run_micro then micro ()
+  else begin
+    List.iter (fun (_, f) -> f ()) selected;
+    Format.printf
+      "@.All experiments complete.  See EXPERIMENTS.md for the \
+       paper-vs-measured discussion.@."
+  end

@@ -1,0 +1,307 @@
+(* shex-validate: command-line RDF validation with Shape Expressions.
+
+   Usage:
+     shex-validate --schema schema.shex --data data.ttl
+     shex-validate --schema s.shex --data d.ttl --node http://e.org/john \
+                   --shape Person --engine backtracking --trace
+     shex-validate --schema s.shex --data d.ttl \
+                   --shape-map '{FOCUS a ex:T}@<T>' --json
+     shex-validate --schema s.shex --show-sparql Person
+     shex-validate --schema s.shex --export-shexj *)
+
+open Cmdliner
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+type engine_choice = Deriv | Back | AutoE
+
+let engine_of_choice = function
+  | Deriv -> Shex.Validate.Derivatives
+  | Back -> Shex.Validate.Backtracking
+  | AutoE -> Shex.Validate.Auto
+
+let load_schema path =
+  let src = read_file path in
+  let result =
+    if Filename.check_suffix path ".json" then
+      Shexc.Shexj.import_string src
+    else Shexc.Shexc_parser.parse_schema src
+  in
+  match result with
+  | Ok s -> s
+  | Error msg -> Printf.eprintf "%s: %s\n" path msg; exit 2
+
+let load_graph path =
+  match Turtle.Parse.parse_graph (read_file path) with
+  | Ok g -> g
+  | Error msg -> Printf.eprintf "%s: %s\n" path msg; exit 2
+
+let resolve_label schema name =
+  (* Accept both the exact label and a suffix match, so users can say
+     "Person" for <http://…/Person>. *)
+  let exact = Shex.Label.of_string name in
+  if Shex.Schema.mem schema exact then Some exact
+  else
+    List.find_opt
+      (fun l ->
+        let s = Shex.Label.to_string l in
+        let n = String.length s and m = String.length name in
+        n >= m && String.sub s (n - m) m = name)
+      (Shex.Schema.labels schema)
+
+let require_label schema name =
+  match resolve_label schema name with
+  | Some l -> l
+  | None ->
+      Printf.eprintf "unknown shape label %S (known: %s)\n" name
+        (String.concat ", "
+           (List.map Shex.Label.to_string (Shex.Schema.labels schema)));
+      exit 2
+
+let require_data = function
+  | Some p -> p
+  | None ->
+      Printf.eprintf "--data is required for validation\n";
+      exit 2
+
+let print_trace session schema graph node label =
+  let shape = Shex.Schema.find_exn schema label in
+  let trace =
+    Shex.Deriv.matches_trace
+      ~check_ref:(fun l o -> Shex.Validate.check_bool session o l)
+      node graph shape
+  in
+  Format.printf "%a@." Shex.Deriv.pp_trace trace
+
+let emit_report report ~json ~result_map ~quiet =
+  if json then
+    print_endline (Json.to_string (Shex.Report.to_json report))
+  else if result_map then
+    print_endline (Shex.Report.to_result_shape_map report)
+  else if not quiet then Format.printf "%a@." Shex.Report.pp report;
+  if Shex.Report.all_conformant report then exit 0 else exit 1
+
+let infer_cmd data_path label_name nodes_text =
+  let graph = load_graph (require_data data_path) in
+  let nodes =
+    String.split_on_char ' ' nodes_text
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun text ->
+           (* accept ex:-style names through the default namespaces *)
+           match Rdf.Namespace.expand Rdf.Namespace.default text with
+           | Ok iri -> Rdf.Term.Iri iri
+           | Error _ -> Rdf.Term.iri text)
+  in
+  if nodes = [] then begin
+    Printf.eprintf "--infer needs at least one example node\n";
+    exit 2
+  end;
+  let label = Shex.Label.of_string label_name in
+  match Shex.Infer.infer_schema graph [ (label, nodes) ] with
+  | Ok schema ->
+      print_string (Shexc.Shexc_printer.schema_to_string schema);
+      exit 0
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+
+let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
+    engine trace show_sparql export_shexj json result_map quiet
+    infer_nodes infer_label =
+  (match infer_nodes with
+  | Some nodes_text -> infer_cmd data_path infer_label nodes_text
+  | None -> ());
+  let schema_path =
+    match schema_path with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "--schema is required (except with --infer)\n";
+        exit 2
+  in
+  let schema = load_schema schema_path in
+  (match show_sparql with
+  | Some shape_name -> (
+      let l = require_label schema shape_name in
+      match Sparql.Gen.of_shape (Shex.Schema.find_exn schema l) with
+      | Ok sel ->
+          print_endline (Sparql.Pp.query_to_string (Sparql.Ast.Select_q sel));
+          exit 0
+      | Error msg ->
+          Printf.eprintf "cannot translate %s: %s\n" shape_name msg;
+          exit 2)
+  | None -> ());
+  if export_shexj then begin
+    print_endline (Shexc.Shexj.export_string schema);
+    exit 0
+  end;
+  let data_path = require_data data_path in
+  let graph = load_graph data_path in
+  let session =
+    Shex.Validate.session ~engine:(engine_of_choice engine) schema graph
+  in
+  match (shape_map_opt, node_opt, shape_opt) with
+  | Some shape_map_text, None, None -> (
+      match Shex.Shape_map.parse shape_map_text with
+      | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 2
+      | Ok shape_map ->
+          let report = Shex.Report.run_shape_map session shape_map graph in
+          emit_report report ~json ~result_map ~quiet)
+  | Some _, _, _ ->
+      Printf.eprintf "--shape-map cannot be combined with --node/--shape\n";
+      exit 2
+  | None, Some node_iri, Some shape_name ->
+      let label = require_label schema shape_name in
+      let node = Rdf.Term.iri node_iri in
+      let report = Shex.Report.run session [ (node, label) ] in
+      if trace then print_trace session schema graph node label;
+      emit_report report ~json ~result_map ~quiet
+  | None, None, None ->
+      (* Whole-graph mode: every node against every shape. *)
+      let associations =
+        List.concat_map
+          (fun n ->
+            List.map (fun l -> (n, l)) (Shex.Schema.labels schema))
+          (Rdf.Graph.nodes graph)
+      in
+      let report = Shex.Report.run session associations in
+      if json then begin
+        print_endline (Json.to_string (Shex.Report.to_json report));
+        exit 0
+      end;
+      let typing = report.Shex.Report.typing in
+      if Shex.Typing.is_empty typing then begin
+        if not quiet then print_endline "no node conforms to any shape";
+        exit 1
+      end
+      else begin
+        if not quiet then Format.printf "%a@." Shex.Typing.pp typing;
+        exit 0
+      end
+  | None, _, _ ->
+      Printf.eprintf "--node and --shape must be given together\n";
+      exit 2
+
+let schema_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "s"; "schema" ] ~docv:"FILE"
+        ~doc:"Schema file: ShExC, or ShExJ when the extension is .json.")
+
+let infer_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "infer" ] ~docv:"NODES"
+        ~doc:
+          "Infer a schema from the space-separated example nodes in the \
+           data (e.g. $(b,'ex:john ex:bob')), print it as ShExC and exit.")
+
+let infer_label_arg =
+  Arg.(
+    value
+    & opt string "Inferred"
+    & info [ "infer-label" ] ~docv:"LABEL"
+        ~doc:"Shape label for --infer (default: Inferred).")
+
+let data_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Turtle data file.")
+
+let node_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "n"; "node" ] ~docv:"IRI" ~doc:"Focus node to validate.")
+
+let shape_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shape" ] ~docv:"LABEL"
+        ~doc:"Shape label to validate against (suffix match allowed).")
+
+let shape_map_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "m"; "shape-map" ] ~docv:"MAP"
+        ~doc:
+          "Shape map, e.g. $(b,'<n>@<S>, {FOCUS a ex:T}@<T>').  Selects \
+           the (node, shape) pairs to check.")
+
+let engine_arg =
+  let choices =
+    [ ("derivatives", Deriv); ("backtracking", Back); ("auto", AutoE) ]
+  in
+  Arg.(
+    value
+    & opt (enum choices) Deriv
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Matching engine: $(b,derivatives) (the paper's algorithm, \
+           default) or $(b,backtracking) (the Fig. 1 baseline — \
+           exponential, small inputs only).")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print the derivative trace (only with --node/--shape).")
+
+let show_sparql_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "show-sparql" ] ~docv:"LABEL"
+        ~doc:
+          "Print the SPARQL query compiled from the given shape (\xc2\xa73 \
+           of the paper) and exit.")
+
+let export_shexj_arg =
+  Arg.(
+    value & flag
+    & info [ "export-shexj" ]
+        ~doc:"Print the schema as ShExJ (JSON) and exit.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the validation report as JSON.")
+
+let result_map_arg =
+  Arg.(
+    value & flag
+    & info [ "result-map" ]
+        ~doc:"Emit the report as a result shape map (node@<S> / node@!<S>).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.")
+
+let cmd =
+  let doc = "validate RDF graphs against Shape Expression schemas" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Validates Turtle data against a ShExC (or ShExJ) schema using \
+         regular expression derivatives (Labra Gayo et al., EDBT/ICDT \
+         2015 workshops).  Without --node or --shape-map, types every \
+         node of the graph against every shape and prints the resulting \
+         typing.";
+      `S Manpage.s_exit_status;
+      `P "0 on conformance, 1 on non-conformance, 2 on usage errors." ]
+  in
+  Cmd.v
+    (Cmd.info "shex-validate" ~doc ~man)
+    Term.(
+      const validate_cmd $ schema_arg $ data_arg $ node_arg $ shape_arg
+      $ shape_map_arg $ engine_arg $ trace_arg $ show_sparql_arg
+      $ export_shexj_arg $ json_arg $ result_map_arg $ quiet_arg
+      $ infer_arg $ infer_label_arg)
+
+let () = exit (Cmd.eval cmd)

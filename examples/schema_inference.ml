@@ -1,0 +1,81 @@
+(* Schema inference: bootstrap a ShEx schema from example nodes, then
+   use it to validate the rest of the portal.
+
+   Run with: dune exec examples/schema_inference.exe *)
+
+let () =
+  (* A portal whose schema we pretend not to know. *)
+  let { Workload.Foaf_gen.graph; valid; invalid } =
+    Workload.Foaf_gen.generate
+      { Workload.Foaf_gen.n_persons = 200;
+        invalid_fraction = 0.15;
+        knows_degree = 2;
+        seed = 77 }
+  in
+  Format.printf "Portal: %d triples, %d supposedly-clean persons@.@."
+    (Rdf.Graph.cardinal graph) (List.length valid);
+
+  (* 1. Take a handful of clean nodes as examples and infer a shape. *)
+  let examples = List.filteri (fun i _ -> i < 25) valid in
+  let person = Shex.Label.of_string "Person" in
+  let schema =
+    match Shex.Infer.infer_schema graph [ (person, examples) ] with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  Format.printf "Inferred from %d examples:@.@.%s@."
+    (List.length examples)
+    (Shexc.Shexc_printer.schema_to_string schema);
+
+  (* 2. Validate the whole portal against the inferred schema. *)
+  let session = Shex.Validate.session schema graph in
+  let conforming, rejected =
+    List.partition
+      (fun n -> Shex.Validate.check_bool session n person)
+      (valid @ invalid)
+  in
+  Format.printf
+    "Inferred schema: %d of %d persons conform, %d rejected@."
+    (List.length conforming)
+    (List.length valid + List.length invalid)
+    (List.length rejected);
+
+  (* The generator's invalid persons must all be rejected; clean ones
+     may occasionally be rejected when the examples under-sample a rare
+     cardinality (e.g. nobody in the sample had 2 names). *)
+  let false_accepts =
+    List.filter (fun n -> List.exists (Rdf.Term.equal n) invalid) conforming
+  in
+  let missed_valid =
+    List.filter (fun n -> List.exists (Rdf.Term.equal n) valid) rejected
+  in
+  Format.printf
+    "Ground truth: %d invalid persons accepted (must be 0), %d clean \
+     persons rejected by the tighter inferred bounds@.@."
+    (List.length false_accepts)
+    (List.length missed_valid);
+
+  (* 3. Relax the cardinality upper bounds and revalidate. *)
+  let relaxed =
+    match
+      Shex.Infer.infer_schema
+        ~options:{ Shex.Infer.max_value_set = 0; close_cardinalities = false }
+        graph
+        [ (person, examples) ]
+    with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let session = Shex.Validate.session relaxed graph in
+  let conforming =
+    List.filter
+      (fun n -> Shex.Validate.check_bool session n person)
+      (valid @ invalid)
+  in
+  Format.printf
+    "Relaxed upper bounds ({m,} instead of {m,n}): %d conform@."
+    (List.length conforming);
+
+  (* 4. Export the inferred schema to ShExJ for the next tool over. *)
+  Format.printf "@.ShExJ export is %d bytes of JSON.@."
+    (String.length (Shexc.Shexj.export_string schema))

@@ -1,0 +1,60 @@
+type check_ref = Label.t -> Rdf.Term.t -> bool
+
+let no_refs : check_ref = fun _ _ -> false
+
+(* All ordered pairs (l, r) of disjoint sublists whose union is the
+   input — the list counterpart of Graph.decompositions.  Pairs come
+   in Example 3's order, ({}, everything) first, so the left component
+   grows as the search proceeds. *)
+let decompose dts =
+  let rec go = function
+    | [] -> [ ([], []) ]
+    | x :: rest ->
+        List.concat_map
+          (fun (l, r) -> [ (l, x :: r); (x :: l, r) ])
+          (go rest)
+  in
+  go dts
+
+let arc_matches ~check_ref (a : Rse.arc) (dt : Neigh.dtriple) =
+  match a.obj with
+  | Rse.Values vo -> Neigh.arc_matches_values a vo dt
+  | Rse.Ref l ->
+      Bool.equal a.inverse dt.inverse
+      && Value_set.pred_mem a.pred (Rdf.Triple.predicate dt.triple)
+      &&
+      let far =
+        if dt.inverse then Rdf.Triple.subject dt.triple
+        else Rdf.Triple.obj dt.triple
+      in
+      check_ref l far
+
+let matches_counted ~check_ref dts e =
+  let work = ref 0 in
+  let rec go (e : Rse.t) dts =
+    incr work;
+    match e with
+    | Empty -> false
+    | Epsilon -> dts = []
+    | Arc a -> ( match dts with [ dt ] -> arc_matches ~check_ref a dt | _ -> false)
+    | Or (e1, e2) -> go e1 dts || go e2 dts
+    | And (e1, e2) ->
+        List.exists (fun (g1, g2) -> go e1 g1 && go e2 g2) (decompose dts)
+    | Star inner ->
+        dts = []
+        || List.exists
+             (fun (g1, g2) -> g1 <> [] && go inner g1 && go e g2)
+             (decompose dts)
+    | Not inner -> not (go inner dts)
+  in
+  let result = go e dts in
+  (result, !work)
+
+let matches_list ?(check_ref = no_refs) dts e =
+  fst (matches_counted ~check_ref dts e)
+
+let matches_count ?(check_ref = no_refs) n g e =
+  let dts = Neigh.of_node ~include_inverse:(Rse.has_inverse e) n g in
+  matches_counted ~check_ref dts e
+
+let matches ?check_ref n g e = fst (matches_count ?check_ref n g e)

@@ -1,0 +1,114 @@
+type check_ref = Label.t -> Rdf.Term.t -> bool
+
+let no_refs : check_ref = fun _ _ -> false
+
+let arc_matches ~check_ref (a : Rse.arc) (dt : Neigh.dtriple) =
+  match a.obj with
+  | Rse.Values vo -> Neigh.arc_matches_values a vo dt
+  | Rse.Ref l ->
+      Bool.equal a.inverse dt.inverse
+      && Value_set.pred_mem a.pred (Rdf.Triple.predicate dt.triple)
+      &&
+      let far =
+        if dt.inverse then Rdf.Triple.subject dt.triple
+        else Rdf.Triple.obj dt.triple
+      in
+      check_ref l far
+
+let deriv ?(ctors = Rse.smart_ctors) ?(check_ref = no_refs) dt e =
+  let { Rse.mk_and; mk_or; mk_not } = ctors in
+  let rec d (e : Rse.t) =
+    match e with
+    | Empty | Epsilon -> Rse.empty
+    | Arc a -> if arc_matches ~check_ref a dt then Rse.epsilon else Rse.empty
+    | Star inner -> mk_and (d inner) e
+    | And (e1, e2) -> mk_or (mk_and (d e1) e2) (mk_and (d e2) e1)
+    | Or (e1, e2) -> mk_or (d e1) (d e2)
+    | Not inner -> mk_not (d inner)
+  in
+  d e
+
+let deriv_graph ?ctors ?check_ref dts e =
+  List.fold_left (fun e dt -> deriv ?ctors ?check_ref dt e) e dts
+
+let matches ?ctors ?check_ref n g e =
+  let dts = Neigh.of_node ~include_inverse:(Rse.has_inverse e) n g in
+  (* Early exit on ∅ is sound only without negation: under ¬, ∅ can
+     still become accepting. *)
+  let can_prune = not (Rse.has_not e) in
+  let rec consume e = function
+    | [] -> Rse.nullable e
+    | dt :: rest ->
+        let e' = deriv ?ctors ?check_ref dt e in
+        if can_prune && Rse.equal e' Rse.empty then false
+        else consume e' rest
+  in
+  consume e dts
+
+type step = { consumed : Neigh.dtriple; after : Rse.t }
+type trace = { initial : Rse.t; steps : step list; result : bool }
+
+let matches_trace ?ctors ?check_ref n g e =
+  let dts = Neigh.of_node ~include_inverse:(Rse.has_inverse e) n g in
+  let final, rev_steps =
+    List.fold_left
+      (fun (e, acc) dt ->
+        let e' = deriv ?ctors ?check_ref dt e in
+        (e', { consumed = dt; after = e' } :: acc))
+      (e, []) dts
+  in
+  { initial = e; steps = List.rev rev_steps; result = Rse.nullable final }
+
+let pp_trace ppf t =
+  Format.pp_open_vbox ppf 0;
+  let remaining = ref (List.map (fun s -> s.consumed) t.steps) in
+  let pp_remaining ppf dts =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Neigh.pp)
+      dts
+  in
+  Format.fprintf ppf "%a \xe2\x89\x83 %a" Rse.pp t.initial pp_remaining
+    !remaining;
+  List.iter
+    (fun s ->
+      remaining := (match !remaining with [] -> [] | _ :: r -> r);
+      Format.pp_print_cut ppf ();
+      Format.fprintf ppf "\xe2\x87\x94 %a \xe2\x89\x83 %a" Rse.pp s.after
+        pp_remaining !remaining)
+    t.steps;
+  Format.pp_print_cut ppf ();
+  let final =
+    match List.rev t.steps with [] -> t.initial | s :: _ -> s.after
+  in
+  Format.fprintf ppf "\xe2\x87\x94 \xce\xbd(%a) \xe2\x87\x94 %b" Rse.pp final
+    t.result;
+  Format.pp_close_box ppf ()
+
+let explain_failure t =
+  if t.result then None
+  else
+    (* Find the first step whose derivative collapsed to ∅: the
+       consumed triple is the culprit (Example 12). *)
+    let rec first_empty = function
+      | [] -> None
+      | s :: _ when Rse.equal s.after Rse.empty -> Some s
+      | _ :: rest -> first_empty rest
+    in
+    match first_empty t.steps with
+    | Some s ->
+        Some
+          (Format.asprintf
+             "triple %a matches no arc of the remaining expression (it \
+              reduces the expression to \xe2\x88\x85)"
+             Neigh.pp s.consumed)
+    | None ->
+        let final =
+          match List.rev t.steps with [] -> t.initial | s :: _ -> s.after
+        in
+        Some
+          (Format.asprintf
+             "all triples were consumed but obligations remain: the residual \
+              expression %a is not nullable (some required arc is missing)"
+             Rse.pp final)

@@ -1,0 +1,17 @@
+type t = string
+
+let of_string s = s
+let to_string t = t
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp ppf t = Format.fprintf ppf "<%s>" t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,21 @@
+(** Shape labels — the finite set Λ of §8.
+
+    A Shape Expression Schema is a pair (Λ, δ) where δ maps labels to
+    regular shape expressions.  Labels occur in object position of arcs
+    (shape references) and as the subjects of typing judgements. *)
+
+type t
+
+val of_string : string -> t
+(** [of_string "Person"] — the label written [<Person>] in ShExC. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [<Person>]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

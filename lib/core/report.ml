@@ -1,0 +1,89 @@
+type status = Conformant | Nonconformant
+
+type entry = {
+  node : Rdf.Term.t;
+  label : Label.t;
+  status : status;
+  reason : string option;
+}
+
+type t = { entries : entry list; typing : Typing.t }
+
+let run session associations =
+  let entries, typing =
+    List.fold_left
+      (fun (entries, typing) (node, label) ->
+        let outcome = Validate.check session node label in
+        let entry =
+          if outcome.Validate.ok then
+            { node; label; status = Conformant; reason = None }
+          else
+            { node; label; status = Nonconformant;
+              reason = outcome.Validate.reason }
+        in
+        (entry :: entries, Typing.combine typing outcome.Validate.typing))
+      ([], Typing.empty) associations
+  in
+  { entries = List.rev entries; typing }
+
+let run_shape_map session shape_map graph =
+  run session (Shape_map.resolve shape_map graph)
+
+let conformant t =
+  List.filter (fun e -> e.status = Conformant) t.entries
+
+let nonconformant t =
+  List.filter (fun e -> e.status = Nonconformant) t.entries
+
+let all_conformant t = nonconformant t = []
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      match e.status with
+      | Conformant ->
+          Format.fprintf ppf "PASS %a@@%a" Rdf.Term.pp e.node Label.pp e.label
+      | Nonconformant ->
+          Format.fprintf ppf "FAIL %a@@%a%s" Rdf.Term.pp e.node Label.pp
+            e.label
+            (match e.reason with
+            | Some reason -> "\n     " ^ reason
+            | None -> ""))
+    t.entries;
+  Format.pp_print_cut ppf ();
+  Format.fprintf ppf "%d conformant, %d nonconformant"
+    (List.length (conformant t))
+    (List.length (nonconformant t));
+  Format.pp_close_box ppf ()
+
+let to_result_shape_map t =
+  String.concat ",\n"
+    (List.map
+       (fun e ->
+         Printf.sprintf "%s@%s<%s>"
+           (Rdf.Term.to_string e.node)
+           (match e.status with Conformant -> "" | Nonconformant -> "!")
+           (Label.to_string e.label))
+       t.entries)
+
+let to_json t =
+  let entry_json e =
+    Json.Object
+      ([ ("node", Json.String (Rdf.Term.to_string e.node));
+         ("shape", Json.String (Label.to_string e.label));
+         ( "status",
+           Json.String
+             (match e.status with
+             | Conformant -> "conformant"
+             | Nonconformant -> "nonconformant") ) ]
+      @
+      match e.reason with
+      | Some reason -> [ ("reason", Json.String reason) ]
+      | None -> [])
+  in
+  Json.Object
+    [ ("entries", Json.Array (List.map entry_json t.entries));
+      ("conformant", Json.int (List.length (conformant t)));
+      ("nonconformant", Json.int (List.length (nonconformant t))) ]

@@ -1,0 +1,46 @@
+(** Structured validation reports.
+
+    A report is the result of checking a set of (node, label)
+    associations — typically obtained from a {!Shape_map} — against a
+    graph: one entry per association with the verdict and, on failure,
+    the human-readable reason from the derivative trace.
+
+    Reports render as a text table, as a result shape map
+    ([node@<Shape>] / [node@!<Shape>], the ShEx convention), and as
+    JSON for tooling. *)
+
+type status = Conformant | Nonconformant
+
+type entry = {
+  node : Rdf.Term.t;
+  label : Label.t;
+  status : status;
+  reason : string option;  (** failure explanation, [None] on success *)
+}
+
+type t = {
+  entries : entry list;
+  typing : Typing.t;
+      (** all (node, label) facts established by the conformant checks *)
+}
+
+val run : Validate.session -> (Rdf.Term.t * Label.t) list -> t
+(** Check every association and collect the outcomes. *)
+
+val run_shape_map : Validate.session -> Shape_map.t -> Rdf.Graph.t -> t
+(** Resolve the shape map against the graph, then {!run}. *)
+
+val conformant : t -> entry list
+val nonconformant : t -> entry list
+val all_conformant : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Text table: one line per entry with verdict and reason. *)
+
+val to_result_shape_map : t -> string
+(** The ShEx result-shape-map convention: [node@<S>] for conformant
+    entries, [node@!<S>] for nonconformant ones, comma-separated. *)
+
+val to_json : t -> Json.t
+(** [{ "entries": [ {"node": …, "shape": …, "status": "conformant",
+    "reason": …}, … ], "conformant": n, "nonconformant": m }]. *)

@@ -1,0 +1,293 @@
+type selector =
+  | Node of Rdf.Term.t
+  | Focus_subject of Rdf.Iri.t option * Rdf.Term.t option
+  | Focus_object of Rdf.Term.t option * Rdf.Iri.t option
+
+type association = { selector : selector; label : Label.t }
+type t = association list
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | T_iri of string        (* raw text of <...> *)
+  | T_pname of string * string
+  | T_bnode of string
+  | T_string of string
+  | T_integer of string
+  | T_focus
+  | T_wild
+  | T_kw_a
+  | T_at
+  | T_lbrace
+  | T_rbrace
+  | T_comma
+  | T_eof
+
+exception Parse_error of string
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false in
+  let is_name c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.'
+  in
+  let read_while pred =
+    let start = !pos in
+    while (match peek () with Some c -> pred c | None -> false) do
+      advance ()
+    done;
+    String.sub src start (!pos - start)
+  in
+  let rec next () =
+    match peek () with
+    | None -> T_eof
+    | Some c when is_ws c ->
+        advance ();
+        next ()
+    | Some '<' ->
+        advance ();
+        let body = read_while (fun c -> c <> '>') in
+        if peek () = None then raise (Parse_error "unterminated IRI")
+        else begin
+          advance ();
+          T_iri body
+        end
+    | Some '"' ->
+        advance ();
+        let buf = Buffer.create 8 in
+        let rec go () =
+          match peek () with
+          | None -> raise (Parse_error "unterminated string")
+          | Some '"' -> advance ()
+          | Some '\\' ->
+              advance ();
+              (match peek () with
+              | Some c ->
+                  advance ();
+                  Buffer.add_char buf
+                    (match c with
+                    | 'n' -> '\n'
+                    | 't' -> '\t'
+                    | c -> c)
+              | None -> raise (Parse_error "unterminated escape"));
+              go ()
+          | Some c ->
+              advance ();
+              Buffer.add_char buf c;
+              go ()
+        in
+        go ();
+        T_string (Buffer.contents buf)
+    | Some '@' -> advance (); T_at
+    | Some '{' -> advance (); T_lbrace
+    | Some '}' -> advance (); T_rbrace
+    | Some ',' -> advance (); T_comma
+    | Some '_' -> (
+        advance ();
+        match peek () with
+        | Some ':' ->
+            advance ();
+            T_bnode (read_while is_name)
+        | _ -> T_wild)
+    | Some c when c >= '0' && c <= '9' ->
+        T_integer (read_while (fun c -> (c >= '0' && c <= '9') || c = '-'))
+    | Some '-' -> T_integer (read_while (fun c -> (c >= '0' && c <= '9') || c = '-'))
+    | Some c when is_name c || c = ':' -> (
+        let word = read_while is_name in
+        match peek () with
+        | Some ':' ->
+            advance ();
+            let local = read_while (fun c -> is_name c || c = ':') in
+            T_pname (word, local)
+        | _ ->
+            if word = "FOCUS" then T_focus
+            else if word = "a" then T_kw_a
+            else raise (Parse_error (Printf.sprintf "unexpected word %S" word)))
+    | Some c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  in
+  let rec all acc =
+    match next () with
+    | T_eof -> List.rev (T_eof :: acc)
+    | t -> all (t :: acc)
+  in
+  all []
+
+type parser_state = { mutable tokens : token list; ns : Rdf.Namespace.t }
+
+let peek_tok st = match st.tokens with [] -> T_eof | t :: _ -> t
+
+let advance_tok st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expand st prefix local =
+  match Rdf.Namespace.find prefix st.ns with
+  | None -> raise (Parse_error (Printf.sprintf "unbound prefix %S" prefix))
+  | Some ns -> (
+      match Rdf.Iri.of_string (ns ^ local) with
+      | Ok iri -> iri
+      | Error msg -> raise (Parse_error msg))
+
+let parse_iri st =
+  match peek_tok st with
+  | T_iri text -> (
+      advance_tok st;
+      match Rdf.Iri.of_string text with
+      | Ok iri -> iri
+      | Error msg -> raise (Parse_error msg))
+  | T_pname (p, l) ->
+      advance_tok st;
+      expand st p l
+  | T_kw_a ->
+      advance_tok st;
+      Rdf.Namespace.Vocab.rdf_type
+  | _ -> raise (Parse_error "expected an IRI")
+
+let parse_term st =
+  match peek_tok st with
+  | T_iri _ | T_pname _ -> Rdf.Term.Iri (parse_iri st)
+  | T_bnode label ->
+      advance_tok st;
+      Rdf.Term.Bnode (Rdf.Bnode.of_string label)
+  | T_string s ->
+      advance_tok st;
+      Rdf.Term.Literal (Rdf.Literal.string s)
+  | T_integer s ->
+      advance_tok st;
+      Rdf.Term.Literal (Rdf.Literal.typed Rdf.Xsd.Integer s)
+  | _ -> raise (Parse_error "expected a node (IRI, blank node or literal)")
+
+let parse_opt_term st =
+  match peek_tok st with
+  | T_wild ->
+      advance_tok st;
+      None
+  | _ -> Some (parse_term st)
+
+let parse_opt_pred st =
+  match peek_tok st with
+  | T_wild ->
+      advance_tok st;
+      None
+  | _ -> Some (parse_iri st)
+
+(* {FOCUS p o} or {s p FOCUS} *)
+let parse_triple_selector st =
+  advance_tok st (* '{' *);
+  let selector =
+    match peek_tok st with
+    | T_focus ->
+        advance_tok st;
+        let pred = parse_opt_pred st in
+        let obj = parse_opt_term st in
+        Focus_subject (pred, obj)
+    | _ ->
+        let subj = parse_opt_term st in
+        let pred = parse_opt_pred st in
+        (match peek_tok st with
+        | T_focus -> advance_tok st
+        | _ -> raise (Parse_error "expected FOCUS in object position"));
+        Focus_object (subj, pred)
+  in
+  (match peek_tok st with
+  | T_rbrace -> advance_tok st
+  | _ -> raise (Parse_error "expected }"));
+  selector
+
+let parse_association st =
+  let selector =
+    match peek_tok st with
+    | T_lbrace -> parse_triple_selector st
+    | _ -> Node (parse_term st)
+  in
+  (match peek_tok st with
+  | T_at -> advance_tok st
+  | _ -> raise (Parse_error "expected @ before the shape label"));
+  let label =
+    match peek_tok st with
+    | T_iri text ->
+        advance_tok st;
+        Label.of_string text
+    | T_pname (p, l) ->
+        advance_tok st;
+        Label.of_string (Rdf.Iri.to_string (expand st p l))
+    | _ -> raise (Parse_error "expected a shape label")
+  in
+  { selector; label }
+
+let parse ?(namespaces = Rdf.Namespace.default) src =
+  match tokenize src with
+  | exception Parse_error msg -> Error ("shape map: " ^ msg)
+  | tokens -> (
+      let st = { tokens; ns = namespaces } in
+      let rec go acc =
+        match peek_tok st with
+        | T_eof -> List.rev acc
+        | T_comma ->
+            advance_tok st;
+            go acc
+        | _ -> go (parse_association st :: acc)
+      in
+      match go [] with
+      | assocs -> Ok assocs
+      | exception Parse_error msg -> Error ("shape map: " ^ msg))
+
+let parse_exn ?namespaces src =
+  match parse ?namespaces src with
+  | Ok t -> t
+  | Error msg -> failwith msg
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let resolve t graph =
+  let module Pair_set = Set.Make (struct
+    type t = Rdf.Term.t * Label.t
+
+    let compare (n1, l1) (n2, l2) =
+      let c = Rdf.Term.compare n1 n2 in
+      if c <> 0 then c else Label.compare l1 l2
+  end) in
+  let add_selector acc { selector; label } =
+    match selector with
+    | Node n -> Pair_set.add (n, label) acc
+    | Focus_subject (pred, obj) ->
+        List.fold_left
+          (fun acc tr -> Pair_set.add (Rdf.Triple.subject tr, label) acc)
+          acc
+          (Rdf.Graph.match_pattern ?p:pred ?o:obj graph)
+    | Focus_object (subj, pred) ->
+        List.fold_left
+          (fun acc tr -> Pair_set.add (Rdf.Triple.obj tr, label) acc)
+          acc
+          (Rdf.Graph.match_pattern ?s:subj ?p:pred graph)
+  in
+  Pair_set.elements (List.fold_left add_selector Pair_set.empty t)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_selector ppf = function
+  | Node n -> Rdf.Term.pp ppf n
+  | Focus_subject (pred, obj) ->
+      Format.fprintf ppf "{FOCUS %s %s}"
+        (match pred with Some p -> Format.asprintf "%a" Rdf.Iri.pp p | None -> "_")
+        (match obj with Some o -> Rdf.Term.to_string o | None -> "_")
+  | Focus_object (subj, pred) ->
+      Format.fprintf ppf "{%s %s FOCUS}"
+        (match subj with Some s -> Rdf.Term.to_string s | None -> "_")
+        (match pred with Some p -> Format.asprintf "%a" Rdf.Iri.pp p | None -> "_")
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+    (fun ppf { selector; label } ->
+      Format.fprintf ppf "%a@@%a" pp_selector selector Label.pp label)
+    ppf t

@@ -1,0 +1,41 @@
+(** Shape maps: which nodes to validate against which shapes.
+
+    The ShEx ecosystem drives validation with {e shape maps} —
+    associations between node selectors and shape labels.  This module
+    implements the fixed and query forms of the W3C shape-map draft
+    that make sense for this engine:
+
+    {v
+    <http://example.org/john>@<Person>,
+    _:b0@<Person>,
+    {FOCUS rdf:type ex:Patient}@<Patient>,
+    {FOCUS ex:knows _}@<Person>,
+    {_ ex:treats FOCUS}@<Patient>
+    v}
+
+    A [{…}] selector picks every node that occurs as [FOCUS] in a
+    triple matching the pattern ([_] is a wildcard). *)
+
+(** Where the focus node sits in a triple pattern. *)
+type selector =
+  | Node of Rdf.Term.t  (** a concrete node *)
+  | Focus_subject of Rdf.Iri.t option * Rdf.Term.t option
+      (** [{FOCUS p o}]: subjects of matching triples; [None] = [_] *)
+  | Focus_object of Rdf.Term.t option * Rdf.Iri.t option
+      (** [{s p FOCUS}]: objects of matching triples *)
+
+type association = { selector : selector; label : Label.t }
+
+type t = association list
+
+val parse : ?namespaces:Rdf.Namespace.t -> string -> (t, string) result
+(** Parse the textual form.  Prefixed names resolve against
+    [namespaces] (default {!Rdf.Namespace.default}). *)
+
+val parse_exn : ?namespaces:Rdf.Namespace.t -> string -> t
+
+val resolve : t -> Rdf.Graph.t -> (Rdf.Term.t * Label.t) list
+(** Expand the selectors against a graph into concrete (node, label)
+    pairs, deduplicated, in (node, label) order. *)
+
+val pp : Format.formatter -> t -> unit

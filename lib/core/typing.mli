@@ -1,0 +1,31 @@
+(** Shape typings τ — mappings from nodes to sets of shape labels (§8).
+
+    The paper defines the empty typing , the extension [n → s : τ]
+    and the combination [τ₁ ⊎ τ₂]; a typing is the result of the type
+    inference judgement [Γ ⊢ n ≃s l ⇒ τ]. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : Rdf.Term.t -> Label.t -> t -> t
+(** [n → l : τ]. *)
+
+val singleton : Rdf.Term.t -> Label.t -> t
+
+val combine : t -> t -> t
+(** [τ₁ ⊎ τ₂] — pointwise union of label sets. *)
+
+val mem : Rdf.Term.t -> Label.t -> t -> bool
+val labels_of : Rdf.Term.t -> t -> Label.Set.t
+val nodes : t -> Rdf.Term.t list
+
+val cardinal : t -> int
+(** Number of (node, label) pairs. *)
+
+val to_list : t -> (Rdf.Term.t * Label.t) list
+(** All pairs in (node, label) order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,192 @@
+type engine = Derivatives | Backtracking | Auto
+
+module Pair = struct
+  type t = Rdf.Term.t * Label.t
+
+  let compare (n1, l1) (n2, l2) =
+    let c = Rdf.Term.compare n1 n2 in
+    if c <> 0 then c else Label.compare l1 l2
+end
+
+module Pair_set = Set.Make (Pair)
+
+type compiled = Counting of Sorbe.t | Generic
+
+type session = {
+  engine : engine;
+  schema : Schema.t;
+  graph : Rdf.Graph.t;
+  proven : (Pair.t, bool) Hashtbl.t;  (* settled verdicts, memoised *)
+  compiled : (Label.t, compiled) Hashtbl.t;
+      (* per-label compilation to the SORBE counting matcher (Auto) *)
+}
+
+let session ?(engine = Derivatives) schema graph =
+  { engine; schema; graph;
+    proven = Hashtbl.create 256;
+    compiled = Hashtbl.create 16 }
+
+let compile st l e =
+  match Hashtbl.find_opt st.compiled l with
+  | Some c -> c
+  | None ->
+      let c =
+        match Sorbe.of_rse e with
+        | Some sorbe -> Counting sorbe
+        | None -> Generic
+      in
+      Hashtbl.replace st.compiled l c;
+      c
+
+type outcome = { ok : bool; typing : Typing.t; reason : string option }
+
+(* One evaluation of a (node, label) pair under the current candidate
+   valuation.  References to settled pairs read the memo table;
+   same-stratum references read [value] and are recorded in the use
+   list; references to lower strata are settled on the spot through
+   [settle] (they are final by stratification, so negation over them
+   is sound). *)
+let rec evaluate st ~value ~demand ((n, l) : Pair.t) =
+  match Schema.find_shape st.schema l with
+  | None -> (false, [])
+  | Some { Schema.focus = Some vo; _ }
+    when not (Value_set.obj_mem vo n) ->
+      (* The focus node itself fails the shape's node constraint. *)
+      (false, [])
+  | Some { Schema.expr = e; _ } ->
+      let used = ref [] in
+      let stratum = Schema.stratum st.schema l in
+      let check_ref l' o =
+        let q = (o, l') in
+        used := q :: !used;
+        match Hashtbl.find_opt st.proven q with
+        | Some b -> b
+        | None ->
+            if Schema.stratum st.schema l' < stratum then begin
+              solve st q;
+              Hashtbl.find st.proven q
+            end
+            else begin
+              demand q;
+              value q
+            end
+      in
+      let ok =
+        match st.engine with
+        | Derivatives -> Deriv.matches ~check_ref n st.graph e
+        | Backtracking -> Backtrack.matches ~check_ref n st.graph e
+        | Auto -> (
+            (* Use the linear counting matcher when the shape is in
+               the single-occurrence fragment (experiment E4). *)
+            match compile st l e with
+            | Counting sorbe -> Sorbe.matches ~check_ref n st.graph sorbe
+            | Generic -> Deriv.matches ~check_ref n st.graph e)
+      in
+      (ok, !used)
+
+(* Greatest-fixpoint solver (chaotic iteration).  All demanded pairs
+   start optimistically [true] — the coinductive hypothesis of §8's
+   MatchShape rule — and can only flip to [false] when their rule
+   fails, re-triggering the pairs that relied on them.  Verdicts are
+   monotone in the same-stratum reference answers because
+   {!Schema.make} rejects negation inside a stratum, so the iteration
+   terminates at the greatest fixpoint in polynomially many
+   evaluations; negated references live in lower strata and are
+   settled before use. *)
+and solve st root =
+  if not (Hashtbl.mem st.proven root) then begin
+    let value : (Pair.t, bool) Hashtbl.t = Hashtbl.create 64 in
+    let dependents : (Pair.t, Pair_set.t) Hashtbl.t = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    let demand p =
+      if not (Hashtbl.mem value p) then begin
+        Hashtbl.replace value p true;
+        Queue.add p queue
+      end
+    in
+    demand root;
+    while not (Queue.is_empty queue) do
+      let p = Queue.pop queue in
+      (* A pair already settled false needs no re-evaluation. *)
+      if Hashtbl.find value p then begin
+        let ok, used =
+          evaluate st ~value:(fun q -> Hashtbl.find value q) ~demand p
+        in
+        List.iter
+          (fun q ->
+            let prev =
+              Option.value
+                (Hashtbl.find_opt dependents q)
+                ~default:Pair_set.empty
+            in
+            Hashtbl.replace dependents q (Pair_set.add p prev))
+          used;
+        if not ok then begin
+          Hashtbl.replace value p false;
+          match Hashtbl.find_opt dependents p with
+          | None -> ()
+          | Some ds ->
+              Pair_set.iter
+                (fun d -> if Hashtbl.find value d then Queue.add d queue)
+                ds
+        end
+      end
+    done;
+    Hashtbl.iter (fun p v -> Hashtbl.replace st.proven p v) value
+  end
+
+let verdict st p =
+  solve st p;
+  Hashtbl.find st.proven p
+
+(* The typing τ produced by a successful check: the root fact plus the
+   facts its (final) match relies on, transitively — mirroring how the
+   typed derivative of §8 combines sub-typings with ⊎. *)
+let typing_of st root =
+  let rec closure visited p =
+    if Pair_set.mem p visited || not (verdict st p) then visited
+    else
+      let visited = Pair_set.add p visited in
+      let _, used =
+        evaluate st ~value:(fun q -> verdict st q) ~demand:(fun _ -> ()) p
+      in
+      List.fold_left closure visited used
+  in
+  Pair_set.fold
+    (fun (n, l) acc -> Typing.add n l acc)
+    (closure Pair_set.empty root)
+    Typing.empty
+
+let failure_reason st n l =
+  match Schema.find_shape st.schema l with
+  | None -> Some (Format.asprintf "no rule for shape label %a" Label.pp l)
+  | Some { Schema.focus = Some vo; _ } when not (Value_set.obj_mem vo n) ->
+      Some
+        (Format.asprintf
+           "the focus node %a does not satisfy the shape's node constraint \
+            %a"
+           Rdf.Term.pp n Value_set.pp_obj vo)
+  | Some { Schema.expr = e; _ } ->
+      let check_ref l' o = verdict st (o, l') in
+      let trace = Deriv.matches_trace ~check_ref n st.graph e in
+      Deriv.explain_failure trace
+
+let check st n l =
+  if verdict st (n, l) then
+    { ok = true; typing = typing_of st (n, l); reason = None }
+  else { ok = false; typing = Typing.empty; reason = failure_reason st n l }
+
+let check_bool st n l = verdict st (n, l)
+
+let validate_graph st =
+  let nodes = Rdf.Graph.nodes st.graph in
+  let labels = Schema.labels st.schema in
+  List.fold_left
+    (fun acc n ->
+      List.fold_left
+        (fun acc l -> if verdict st (n, l) then Typing.add n l acc else acc)
+        acc labels)
+    Typing.empty nodes
+
+let validate ?engine schema graph n l =
+  check (session ?engine schema graph) n l

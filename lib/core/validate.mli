@@ -1,0 +1,70 @@
+(** Schema validation — the type inference algorithm of §8.
+
+    The judgement [Γ ⊢ l ≃s n ⇒ τ] (Fig. 3) holds when the
+    neighbourhood of node [n] matches δ(l) {e under the hypothesis
+    that [n] already has type [l]} — the context extension [Γ{n → l}]
+    in the MatchShape premise.  That hypothesis is what gives
+    recursive schemas (Examples 13–14) their coinductive semantics: a
+    cycle of shape references succeeds unless some arc constraint
+    refutes it.
+
+    The implementation follows §8's typed derivatives
+    [∂t(e, Γ) = (e', τ)]: arcs whose object is a shape reference
+    trigger a recursive check of the object node, and the typings of
+    all sub-checks are combined with ⊎.
+
+    Recursion is resolved by a {e greatest-fixpoint} (chaotic
+    iteration) solver: every demanded (node, label) pair starts
+    optimistically assumed to hold — the coinductive hypothesis — and
+    flips to failure only when its own rule fails, re-triggering the
+    pairs that relied on it.  Because {!Schema.make} rejects
+    references under negation, verdicts are monotone in the reference
+    answers, the iteration terminates in polynomially many
+    evaluations, and the surviving pairs form the greatest fixpoint —
+    exactly the semantics of the MatchShape rule on cyclic data.
+
+    A {!session} memoises settled verdicts, so repeated checks over
+    the same graph (e.g. {!validate_graph}) share work. *)
+
+(** Which regular-expression engine decides neighbourhood matching. *)
+type engine =
+  | Derivatives     (** §6–7, the paper's contribution — default *)
+  | Backtracking    (** Fig. 1 rules, exponential — baseline *)
+  | Auto
+      (** compile each shape once: the SORBE counting matcher when the
+          shape is single-occurrence (linear, no expression rebuilding
+          — experiment E4), derivatives otherwise *)
+
+type session
+
+val session : ?engine:engine -> Schema.t -> Rdf.Graph.t -> session
+
+(** Result of checking one node against one label. *)
+type outcome = {
+  ok : bool;
+  typing : Typing.t;
+      (** all (node, label) facts established by the check, including
+          those of recursively visited neighbours; empty on failure *)
+  reason : string option;
+      (** on failure, a human-readable explanation from the
+          derivative trace *)
+}
+
+val check : session -> Rdf.Term.t -> Label.t -> outcome
+
+val check_bool : session -> Rdf.Term.t -> Label.t -> bool
+
+val validate_graph : session -> Typing.t
+(** Checks every node of the graph against every label of the schema
+    and combines the typings of the successful checks — the “shape
+    typing assigned to the nodes in the graph” of §8.  Reproduces
+    Example 2: [:john] and [:bob] get [<Person>], [:mary] does not. *)
+
+val validate :
+  ?engine:engine ->
+  Schema.t ->
+  Rdf.Graph.t ->
+  Rdf.Term.t ->
+  Label.t ->
+  outcome
+(** One-shot convenience wrapper around {!session} + {!check}. *)

@@ -1,0 +1,149 @@
+type t = {
+  triples : Triple.Set.t;
+  by_subject : Triple.Set.t Term.Map.t;
+  by_object : Triple.Set.t Term.Map.t;
+}
+
+let empty =
+  { triples = Triple.Set.empty;
+    by_subject = Term.Map.empty;
+    by_object = Term.Map.empty }
+
+let is_empty g = Triple.Set.is_empty g.triples
+let cardinal g = Triple.Set.cardinal g.triples
+let mem tr g = Triple.Set.mem tr g.triples
+
+let index_add key tr index =
+  Term.Map.update key
+    (function
+      | None -> Some (Triple.Set.singleton tr)
+      | Some set -> Some (Triple.Set.add tr set))
+    index
+
+let index_remove key tr index =
+  Term.Map.update key
+    (function
+      | None -> None
+      | Some set ->
+          let set = Triple.Set.remove tr set in
+          if Triple.Set.is_empty set then None else Some set)
+    index
+
+let add tr g =
+  if mem tr g then g
+  else
+    { triples = Triple.Set.add tr g.triples;
+      by_subject = index_add (Triple.subject tr) tr g.by_subject;
+      by_object = index_add (Triple.obj tr) tr g.by_object }
+
+let remove tr g =
+  if not (mem tr g) then g
+  else
+    { triples = Triple.Set.remove tr g.triples;
+      by_subject = index_remove (Triple.subject tr) tr g.by_subject;
+      by_object = index_remove (Triple.obj tr) tr g.by_object }
+
+let singleton tr = add tr empty
+let of_list trs = List.fold_left (fun g tr -> add tr g) empty trs
+let to_list g = Triple.Set.elements g.triples
+let of_set set = Triple.Set.fold add set empty
+let to_set g = g.triples
+
+let union g1 g2 =
+  (* Fold the smaller graph into the larger one. *)
+  if cardinal g1 >= cardinal g2 then Triple.Set.fold add g2.triples g1
+  else Triple.Set.fold add g1.triples g2
+
+let diff g1 g2 = Triple.Set.fold remove g2.triples g1
+
+let inter g1 g2 =
+  let small, large = if cardinal g1 <= cardinal g2 then (g1, g2) else (g2, g1) in
+  Triple.Set.fold
+    (fun tr acc -> if mem tr large then add tr acc else acc)
+    small.triples empty
+
+let subset g1 g2 = Triple.Set.subset g1.triples g2.triples
+let equal g1 g2 = Triple.Set.equal g1.triples g2.triples
+let fold f g acc = Triple.Set.fold f g.triples acc
+let iter f g = Triple.Set.iter f g.triples
+let for_all f g = Triple.Set.for_all f g.triples
+let exists f g = Triple.Set.exists f g.triples
+
+let filter f g =
+  Triple.Set.fold (fun tr acc -> if f tr then add tr acc else acc) g.triples
+    empty
+
+let choose_opt g = Triple.Set.min_elt_opt g.triples
+
+let index_find key index =
+  match Term.Map.find_opt key index with
+  | None -> Triple.Set.empty
+  | Some set -> set
+
+let neighbourhood n g = of_set (index_find n g.by_subject)
+let triples_with_object o g = of_set (index_find o g.by_object)
+
+let objects_of s p g =
+  index_find s g.by_subject
+  |> Triple.Set.elements
+  |> List.filter_map (fun tr ->
+         if Iri.equal (Triple.predicate tr) p then Some (Triple.obj tr)
+         else None)
+
+let subjects g =
+  Term.Map.fold (fun s _ acc -> s :: acc) g.by_subject [] |> List.rev
+
+let predicates g =
+  let module Iri_set = Set.Make (Iri) in
+  Triple.Set.fold
+    (fun tr acc -> Iri_set.add (Triple.predicate tr) acc)
+    g.triples Iri_set.empty
+  |> Iri_set.elements
+
+let nodes g =
+  let add_node t acc = Term.Set.add t acc in
+  Triple.Set.fold
+    (fun tr acc ->
+      acc |> add_node (Triple.subject tr) |> add_node (Triple.obj tr))
+    g.triples Term.Set.empty
+  |> Term.Set.elements
+
+let match_pattern ?s ?p ?o g =
+  let candidates =
+    match (s, o) with
+    | Some s, _ -> index_find s g.by_subject
+    | None, Some o -> index_find o g.by_object
+    | None, None -> g.triples
+  in
+  let keep tr =
+    (match s with None -> true | Some s -> Term.equal (Triple.subject tr) s)
+    && (match p with
+       | None -> true
+       | Some p -> Iri.equal (Triple.predicate tr) p)
+    && match o with None -> true | Some o -> Term.equal (Triple.obj tr) o
+  in
+  Triple.Set.elements (Triple.Set.filter keep candidates)
+
+let decompositions g =
+  (* Example 3: pair every subset with its complement, ({}, g) first.
+     Deliberately the naïve powerset enumeration — this is the
+     baseline's cost. *)
+  let rec go = function
+    | [] -> [ (empty, empty) ]
+    | tr :: rest ->
+        let sub = go rest in
+        List.concat_map
+          (fun (g1, g2) -> [ (g1, add tr g2); (add tr g1, g2) ])
+          sub
+  in
+  go (to_list g)
+
+let pp ppf g =
+  Format.pp_open_vbox ppf 0;
+  let first = ref true in
+  iter
+    (fun tr ->
+      if !first then first := false else Format.pp_print_cut ppf ();
+      Triple.pp ppf tr)
+    g;
+  Format.pp_close_box ppf ()

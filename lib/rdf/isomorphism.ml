@@ -1,0 +1,135 @@
+module Bnode_map = Map.Make (Bnode)
+
+let bnodes_of g =
+  let add t acc =
+    match t with Term.Bnode b -> Bnode_map.add b () acc | _ -> acc
+  in
+  Graph.fold
+    (fun tr acc -> acc |> add (Triple.subject tr) |> add (Triple.obj tr))
+    g Bnode_map.empty
+  |> Bnode_map.bindings |> List.map fst
+
+let is_ground tr =
+  (not (Term.is_bnode (Triple.subject tr)))
+  && not (Term.is_bnode (Triple.obj tr))
+
+(* Colour refinement with canonical string colours, so colours are
+   comparable across the two graphs: every blank node starts with the
+   same colour, and each round recolours it with a digest of its
+   sorted incident-triple profile (direction, predicate, and the
+   neighbour's colour or ground text).  [depth] rounds give
+   discrimination up to radius [depth]; the final verification by
+   substitution keeps the procedure exact regardless. *)
+let refine ~depth g bnodes =
+  let colour = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace colour b "") bnodes;
+  let term_key t =
+    match t with
+    | Term.Bnode b -> "b:" ^ Hashtbl.find colour b
+    | t -> "g:" ^ Term.to_string t
+  in
+  let signature b =
+    Graph.fold
+      (fun tr acc ->
+        let s = Triple.subject tr and o = Triple.obj tr in
+        let p = Iri.to_string (Triple.predicate tr) in
+        let acc =
+          if Term.equal s (Term.Bnode b) then
+            ("out|" ^ p ^ "|" ^ term_key o) :: acc
+          else acc
+        in
+        if Term.equal o (Term.Bnode b) then
+          ("in|" ^ p ^ "|" ^ term_key s) :: acc
+        else acc)
+      g []
+    |> List.sort String.compare |> String.concat ";"
+  in
+  for _ = 1 to depth do
+    let next = List.map (fun b -> (b, Digest.string (signature b))) bnodes in
+    List.iter (fun (b, c) -> Hashtbl.replace colour b c) next
+  done;
+  fun b -> Hashtbl.find colour b
+
+let substitute mapping g =
+  let subst = function
+    | Term.Bnode b as t -> (
+        match Bnode_map.find_opt b mapping with
+        | Some b' -> Term.Bnode b'
+        | None -> t)
+    | t -> t
+  in
+  Graph.fold
+    (fun tr acc ->
+      match
+        Triple.make_opt (subst (Triple.subject tr)) (Triple.predicate tr)
+          (subst (Triple.obj tr))
+      with
+      | Some tr' -> Graph.add tr' acc
+      | None -> acc)
+    g Graph.empty
+
+let find_mapping g1 g2 =
+  if Graph.cardinal g1 <> Graph.cardinal g2 then None
+  else if
+    not (Graph.equal (Graph.filter is_ground g1) (Graph.filter is_ground g2))
+  then None
+  else
+    let b1 = bnodes_of g1 and b2 = bnodes_of g2 in
+    if List.length b1 <> List.length b2 then None
+    else
+      let depth = min 4 (1 + List.length b1) in
+      let c1 = refine ~depth g1 b1 and c2 = refine ~depth g2 b2 in
+      (* The colour multisets must agree. *)
+      let colours bs c = List.sort String.compare (List.map c bs) in
+      if colours b1 c1 <> colours b2 c2 then None
+      else
+        (* Backtracking within colour classes; complete assignments
+           verified by substitution. *)
+        let rec assign pending used mapping =
+          match pending with
+          | [] ->
+              if Graph.equal (substitute mapping g1) g2 then Some mapping
+              else None
+          | b :: rest ->
+              let colour_b = c1 b in
+              let rec try_candidates = function
+                | [] -> None
+                | cand :: more ->
+                    if
+                      String.equal (c2 cand) colour_b
+                      && not (List.exists (Bnode.equal cand) used)
+                    then
+                      match
+                        assign rest (cand :: used)
+                          (Bnode_map.add b cand mapping)
+                      with
+                      | Some m -> Some m
+                      | None -> try_candidates more
+                    else try_candidates more
+              in
+              try_candidates b2
+        in
+        (* Small colour classes first, to fail fast. *)
+        let class_size =
+          let counts = Hashtbl.create 16 in
+          List.iter
+            (fun b ->
+              let c = c1 b in
+              Hashtbl.replace counts c
+                (1 + Option.value (Hashtbl.find_opt counts c) ~default:0))
+            b1;
+          fun b -> Hashtbl.find counts (c1 b)
+        in
+        let ordered =
+          List.sort (fun a b -> Int.compare (class_size a) (class_size b)) b1
+        in
+        match assign ordered [] Bnode_map.empty with
+        | Some mapping -> Some (Bnode_map.bindings mapping)
+        | None -> None
+
+let isomorphic g1 g2 = find_mapping g1 g2 <> None
+
+let refine_colours g =
+  let bnodes = bnodes_of g in
+  let c = refine ~depth:(min 4 (1 + List.length bnodes)) g bnodes in
+  List.map (fun b -> (b, c b)) bnodes

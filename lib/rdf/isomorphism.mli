@@ -1,0 +1,24 @@
+(** RDF graph isomorphism.
+
+    Two RDF graphs are isomorphic when some bijection between their
+    blank nodes maps one onto the other (RDF 1.1 Semantics).  Ground
+    terms (IRIs, literals) must match exactly.
+
+    The implementation runs colour refinement over the blank nodes
+    (signatures built from incident predicates, directions, and
+    neighbour colours) and then searches for a bijection within each
+    colour class, verifying the candidate by substitution.  It is
+    exact; the search is exponential only in the size of the largest
+    class of indistinguishable blank nodes, which is tiny for real
+    graphs. *)
+
+val isomorphic : Graph.t -> Graph.t -> bool
+
+val find_mapping : Graph.t -> Graph.t -> (Bnode.t * Bnode.t) list option
+(** A witnessing bijection (pairs of blank nodes, first graph →
+    second), or [None] when the graphs are not isomorphic. *)
+
+val refine_colours : Graph.t -> (Bnode.t * string) list
+(** The colour-refinement signatures of the graph's blank nodes
+    (canonical across graphs — equal colours mean indistinguishable up
+    to the refinement radius).  Exposed for {!Canonical}. *)

@@ -1,0 +1,60 @@
+(** RDF literals: a lexical form plus a datatype IRI, and optionally a
+    language tag (in which case the datatype is [rdf:langString]). *)
+
+type t
+
+val make : ?lang:string -> ?datatype:Iri.t -> string -> t
+(** [make lexical] builds a plain [xsd:string] literal.  Supplying
+    [~lang] forces the datatype to [rdf:langString]; supplying
+    [~datatype] (and no [~lang]) attaches that datatype.  The lexical
+    form is stored verbatim — no value-space canonicalisation. *)
+
+val string : string -> t
+(** [string s] is [make s]: a plain string literal. *)
+
+val typed : Xsd.primitive -> string -> t
+(** [typed dt lexical] builds a literal with a recognised XSD
+    datatype.  The lexical form is not checked here; use
+    {!well_formed} to check it. *)
+
+val integer : int -> t
+(** [integer 23] is ["23"^^xsd:integer]. *)
+
+val decimal : float -> t
+val boolean : bool -> t
+
+val lexical : t -> string
+val datatype : t -> Iri.t
+val lang : t -> string option
+
+val xsd_primitive : t -> Xsd.primitive option
+(** The recognised XSD datatype, when the datatype IRI is one. *)
+
+val well_formed : t -> bool
+(** Whether the lexical form belongs to the lexical space of the
+    literal's datatype.  Literals with unrecognised datatypes are
+    considered well formed (we cannot judge them). *)
+
+val has_datatype : t -> Xsd.primitive -> bool
+(** [has_datatype l dt] holds when [l]'s datatype is exactly [dt]'s
+    IRI {e and} the lexical form is valid for [dt].  This is the
+    membership test the paper uses when it treats [xsd:integer] as a
+    subset of the literals. *)
+
+val as_int : t -> int option
+(** Value-space view for integer-derived literals. *)
+
+val as_float : t -> float option
+(** Value-space view for any numeric literal. *)
+
+val as_bool : t -> bool option
+
+val equal : t -> t -> bool
+(** Term equality per RDF 1.1: same lexical form, same datatype, same
+    language tag (compared case-insensitively). *)
+
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Turtle form: ["foo"], ["foo"@en], ["23"^^<…#integer>]. *)

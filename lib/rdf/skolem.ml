@@ -1,0 +1,31 @@
+let default_authority = "https://shex-derivatives.example/.well-known/genid/"
+
+let map_terms f g =
+  Graph.fold
+    (fun tr acc ->
+      match
+        Triple.make_opt (f (Triple.subject tr)) (Triple.predicate tr)
+          (f (Triple.obj tr))
+      with
+      | Some tr' -> Graph.add tr' acc
+      | None -> acc)
+    g Graph.empty
+
+let skolemize ?(authority = default_authority) g =
+  let f = function
+    | Term.Bnode b -> Term.Iri (Iri.of_string_exn (authority ^ Bnode.label b))
+    | t -> t
+  in
+  map_terms f g
+
+let unskolemize ?(authority = default_authority) g =
+  let n = String.length authority in
+  let f = function
+    | Term.Iri iri as t ->
+        let s = Iri.to_string iri in
+        if String.length s > n && String.sub s 0 n = authority then
+          Term.Bnode (Bnode.of_string (String.sub s n (String.length s - n)))
+        else t
+    | t -> t
+  in
+  map_terms f g

@@ -1,0 +1,16 @@
+(** Skolemization: replacing blank nodes by well-known IRIs.
+
+    RDF 1.1 (§3.5) recommends replacing blank nodes with fresh
+    "skolem" IRIs under the [.well-known/genid/] path when a document
+    needs stable names.  The transformation preserves entailment in
+    both directions for the well-known scheme. *)
+
+val default_authority : string
+(** ["https://shex-derivatives.example/.well-known/genid/"]. *)
+
+val skolemize : ?authority:string -> Graph.t -> Graph.t
+(** Replace every blank node [_:b] by [<authority ^ b>]. *)
+
+val unskolemize : ?authority:string -> Graph.t -> Graph.t
+(** Inverse: turn skolem IRIs under the authority back into blank
+    nodes with the trailing label. *)

@@ -1,0 +1,54 @@
+(** RDF terms and the positional vocabularies of the paper's §2.
+
+    With [I] the IRIs, [B] the blank nodes and [L] the literals, the
+    paper fixes [Vs = I ∪ B] (subjects), [Vp = I] (predicates) and
+    [Vo = I ∪ B ∪ L] (objects).  {!t} is [Vo]; {!subject_ok} and
+    {!predicate_ok} carve out the smaller vocabularies. *)
+
+type t =
+  | Iri of Iri.t
+  | Bnode of Bnode.t
+  | Literal of Literal.t
+
+val iri : string -> t
+(** [iri s] is [Iri (Iri.of_string_exn s)]. *)
+
+val bnode : string -> t
+
+val str : string -> t
+(** Plain-string literal term. *)
+
+val int : int -> t
+(** [xsd:integer] literal term. *)
+
+val is_iri : t -> bool
+val is_bnode : t -> bool
+val is_literal : t -> bool
+
+val subject_ok : t -> bool
+(** Member of [Vs = I ∪ B]. *)
+
+val predicate_ok : t -> bool
+(** Member of [Vp = I]. *)
+
+val as_iri : t -> Iri.t option
+val as_literal : t -> Literal.t option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** N-Triples-ish rendering: [<iri>], [_:label] or a quoted literal. *)
+
+val to_string : t -> string
+
+(** Total order over terms, for use with [Map.Make]/[Set.Make]. *)
+module Ord : sig
+  type nonrec t = t
+
+  val compare : t -> t -> int
+end
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,36 @@
+type t = { s : Term.t; p : Iri.t; o : Term.t }
+
+let make s p o =
+  if not (Term.subject_ok s) then
+    invalid_arg
+      (Format.asprintf "Triple.make: literal in subject position: %a" Term.pp
+         s)
+  else { s; p; o }
+
+let make_opt s p o = if Term.subject_ok s then Some { s; p; o } else None
+let subject t = t.s
+let predicate t = t.p
+let obj t = t.o
+
+let equal a b =
+  Term.equal a.s b.s && Iri.equal a.p b.p && Term.equal a.o b.o
+
+let compare a b =
+  let c = Term.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Iri.compare a.p b.p in
+    if c <> 0 then c else Term.compare a.o b.o
+
+let hash t = Hashtbl.hash (Term.hash t.s, Iri.hash t.p, Term.hash t.o)
+
+let pp ppf t =
+  Format.fprintf ppf "%a %a %a ." Term.pp t.s Iri.pp t.p Term.pp t.o
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)

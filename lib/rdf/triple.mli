@@ -1,0 +1,29 @@
+(** RDF triples ⟨s, p, o⟩ with the positional constraints of §2:
+    s ∈ Vs = I ∪ B, p ∈ Vp = I, o ∈ Vo = I ∪ B ∪ L. *)
+
+type t = private { s : Term.t; p : Iri.t; o : Term.t }
+
+val make : Term.t -> Iri.t -> Term.t -> t
+(** [make s p o].  Raises [Invalid_argument] if [s] is a literal. *)
+
+val make_opt : Term.t -> Iri.t -> Term.t -> t option
+(** Like {!make} but returns [None] instead of raising. *)
+
+val subject : t -> Term.t
+val predicate : t -> Iri.t
+val obj : t -> Term.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [⟨s, p, o⟩]-style: [<s> <p> <o> .] *)
+
+module Ord : sig
+  type nonrec t = t
+
+  val compare : t -> t -> int
+end
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,39 @@
+(** Parser for the ShEx compact syntax.
+
+    Accepts the paper's notation (Example 1):
+
+    {v
+    PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+    PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+    <Person> {
+      foaf:age xsd:integer
+      , foaf:name xsd:string+
+      , foaf:knows @<Person>*
+    }
+    v}
+
+    Triple constraints combine with [,] (or [;]) for unordered
+    concatenation (‖) and [|] for alternatives; [( … )] groups;
+    cardinalities are [*], [+], [?], [{m}], [{m,n}] and [{m,}].  Value
+    classes are datatypes ([xsd:integer]), shape references
+    ([@<Person>]), node kinds ([IRI], [BNODE], [LITERAL],
+    [NONLITERAL]), the wildcard [.], and value sets
+    ([[ "a" 1 <http://e.org/x> <http://e.org/ns~> ]] — a trailing [~]
+    makes the preceding IRI a stem).  The extensions [^] (inverse) and
+    [!] (negation) prefix a constraint or group. *)
+
+type document = {
+  schema : Shex.Schema.t;
+  namespaces : Rdf.Namespace.t;
+  base : Rdf.Iri.t option;
+}
+
+val parse : ?base:Rdf.Iri.t -> string -> (document, string) result
+(** Parse a ShExC document.  Schema-level errors (duplicate labels,
+    dangling or negated references) are reported through
+    {!Shex.Schema.make}'s validation. *)
+
+val parse_schema : ?base:Rdf.Iri.t -> string -> (Shex.Schema.t, string) result
+
+val parse_schema_exn : ?base:Rdf.Iri.t -> string -> Shex.Schema.t
+(** Raises [Failure] on error.  For tests and examples. *)

@@ -1,0 +1,38 @@
+(** Lexer for the SPARQL fragment accepted by {!Parse}. *)
+
+type token =
+  | Iriref of string
+  | Pname of string * string
+  | Var of string            (** [?x] or [$x], sigil stripped *)
+  | String_lit of string
+  | Langtag of string
+  | Integer_lit of string
+  | Decimal_lit of string
+  | Double_lit of string
+  | Kw of string             (** keyword, uppercased: SELECT, ASK, … *)
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Dot
+  | Semicolon
+  | Comma
+  | Star
+  | Plus
+  | Caret_caret
+  | Amp_amp                  (** [&&] *)
+  | Pipe_pipe                (** [||] *)
+  | Bang
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+
+val tokenize : string -> located list

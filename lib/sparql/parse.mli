@@ -1,0 +1,21 @@
+(** Parser for the SPARQL fragment of {!Ast}.
+
+    Covers what the paper's §3 queries need — and a bit more:
+
+    {v
+    PREFIX/BASE prologue
+    ASK { … } and SELECT [DISTINCT] ?v… | * | (COUNT( * ) AS ?c) …
+    basic graph patterns with ; and , abbreviations and [a]
+    FILTER with ||, &&, !, comparisons, isIRI/isLiteral/isBlank,
+      datatype(), bound(), str()+regex(), EXISTS / NOT EXISTS { … }
+    OPTIONAL { … }, { … } UNION { … }, nested sub-SELECTs,
+    GROUP BY ?v…, HAVING (…)
+    v}
+
+    Blank nodes in patterns ([_:b]) act as variables named ["_:b"], per
+    the SPARQL semantics of bnodes in basic graph patterns. *)
+
+val parse : string -> (Ast.query, string) result
+(** Parse a complete query.  Errors carry 1-based line/column. *)
+
+val parse_exn : string -> Ast.query

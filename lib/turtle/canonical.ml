@@ -1,0 +1,86 @@
+(* Canonical labels via colour refinement, with exhaustive tie-break
+   search bounded by a permutation budget. *)
+
+let relabel mapping g =
+  let subst = function
+    | Rdf.Term.Bnode b as t -> (
+        match List.assoc_opt (Rdf.Bnode.label b) mapping with
+        | Some fresh -> Rdf.Term.Bnode (Rdf.Bnode.of_string fresh)
+        | None -> t)
+    | t -> t
+  in
+  Rdf.Graph.fold
+    (fun tr acc ->
+      match
+        Rdf.Triple.make_opt (subst (Rdf.Triple.subject tr)) (Rdf.Triple.predicate tr)
+          (subst (Rdf.Triple.obj tr))
+      with
+      | Some tr' -> Rdf.Graph.add tr' acc
+      | None -> acc)
+    g Rdf.Graph.empty
+
+let serialize g = Ntriples.to_string g
+
+(* All permutations of a list (used only on small tie groups). *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> not (Rdf.Bnode.equal x y)) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+
+let permutation_budget = 5040 (* 7! *)
+
+let canonicalize g =
+  let coloured = Rdf.Isomorphism.refine_colours g in
+  (* Group by colour, order groups by colour string. *)
+  let groups =
+    List.fold_left
+      (fun acc (b, c) ->
+        let prev = Option.value (List.assoc_opt c acc) ~default:[] in
+        (c, b :: prev) :: List.remove_assoc c acc)
+      [] coloured
+    |> List.sort (fun (c1, _) (c2, _) -> String.compare c1 c2)
+  in
+  let budget =
+    List.fold_left
+      (fun acc (_, bs) ->
+        let rec fact n = if n <= 1 then 1 else n * fact (n - 1) in
+        acc * fact (min 8 (List.length bs)))
+      1 groups
+  in
+  (* Candidate orderings: either all combinations of group
+     permutations (exact) or label order within groups (best effort on
+     pathologically symmetric graphs). *)
+  let orderings =
+    if budget <= permutation_budget then
+      List.fold_left
+        (fun acc (_, bs) ->
+          let perms = permutations bs in
+          List.concat_map (fun prefix -> List.map (fun p -> prefix @ p) perms) acc)
+        [ [] ] groups
+    else
+      [ List.concat_map (fun (_, bs) -> List.sort Rdf.Bnode.compare bs) groups ]
+  in
+  let candidate ordering =
+    let mapping =
+      List.mapi
+        (fun i b -> (Rdf.Bnode.label b, Printf.sprintf "c%d" i))
+        ordering
+    in
+    relabel mapping g
+  in
+  match orderings with
+  | [] -> g
+  | first :: rest ->
+      List.fold_left
+        (fun best ordering ->
+          let cand = candidate ordering in
+          if String.compare (serialize cand) (serialize best) < 0 then cand
+          else best)
+        (candidate first) rest
+
+let to_string g = serialize (canonicalize g)
+let equal g1 g2 = String.equal (to_string g1) (to_string g2)

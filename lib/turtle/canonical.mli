@@ -1,0 +1,22 @@
+(** Canonical graph serialization (deterministic blank node labels).
+
+    Produces an N-Triples text that is identical for isomorphic graphs:
+    blank nodes are relabelled [_:c0, _:c1, …] in a canonical order
+    derived from colour refinement, with ties broken by trying the
+    lexicographically smallest serialization (in the spirit of
+    RDFC-1.0, without its incremental hashing details).
+
+    Canonical texts make graphs directly comparable, hashable and
+    diffable. *)
+
+val canonicalize : Rdf.Graph.t -> Rdf.Graph.t
+(** The graph with blank nodes renamed to canonical labels. *)
+
+val to_string : Rdf.Graph.t -> string
+(** Canonical N-Triples serialization. *)
+
+val equal : Rdf.Graph.t -> Rdf.Graph.t -> bool
+(** [equal g1 g2] ⇔ the canonical texts agree ⇔ the graphs are
+    isomorphic (for the exact colour-refinement-discriminated graphs;
+    ties are resolved by exhaustive choice, so this matches
+    {!Rdf.Isomorphism.isomorphic}). *)

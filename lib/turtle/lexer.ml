@@ -1,0 +1,396 @@
+type token =
+  | Iriref of string
+  | Pname of string * string
+  | Blank_label of string
+  | Anon
+  | String_lit of string
+  | Langtag of string
+  | Integer_lit of string
+  | Decimal_lit of string
+  | Double_lit of string
+  | Kw_a
+  | Kw_true
+  | Kw_false
+  | At_prefix
+  | At_base
+  | Kw_prefix
+  | Kw_base
+  | Dot
+  | Semicolon
+  | Comma
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Caret_caret
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+
+type state = { src : string; mutable pos : int; mutable line : int;
+               mutable col : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Error (msg, st.line, st.col))
+
+let is_ws = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+let is_digit c = c >= '0' && c <= '9'
+
+let is_pn_chars_base c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || Char.code c >= 0x80
+
+let is_pn_chars c =
+  is_pn_chars_base c || is_digit c || c = '_' || c = '-'
+
+(* Encode a Unicode scalar value as UTF-8 into the buffer. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let hex_value st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> error st (Printf.sprintf "invalid hex digit %C" c)
+
+let read_unicode_escape st n buf =
+  let cp = ref 0 in
+  for _ = 1 to n do
+    match peek st with
+    | Some c ->
+        cp := (!cp * 16) + hex_value st c;
+        advance st
+    | None -> error st "unterminated \\u escape"
+  done;
+  add_utf8 buf !cp
+
+(* Escapes shared by strings; IRIs only allow \u / \U. *)
+let read_string_escape st buf =
+  match peek st with
+  | Some 'n' -> advance st; Buffer.add_char buf '\n'
+  | Some 't' -> advance st; Buffer.add_char buf '\t'
+  | Some 'r' -> advance st; Buffer.add_char buf '\r'
+  | Some 'b' -> advance st; Buffer.add_char buf '\b'
+  | Some 'f' -> advance st; Buffer.add_char buf '\012'
+  | Some '"' -> advance st; Buffer.add_char buf '"'
+  | Some '\'' -> advance st; Buffer.add_char buf '\''
+  | Some '\\' -> advance st; Buffer.add_char buf '\\'
+  | Some 'u' -> advance st; read_unicode_escape st 4 buf
+  | Some 'U' -> advance st; read_unicode_escape st 8 buf
+  | Some c -> error st (Printf.sprintf "invalid escape \\%c" c)
+  | None -> error st "unterminated escape"
+
+let read_iriref st =
+  advance st; (* consume '<' *)
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek st with
+    | Some '>' -> advance st; Buffer.contents buf
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'u' -> advance st; read_unicode_escape st 4 buf; go ()
+        | Some 'U' -> advance st; read_unicode_escape st 8 buf; go ()
+        | _ -> error st "only \\u/\\U escapes are allowed in IRIs")
+    | Some c when is_ws c -> error st "whitespace in IRI"
+    | Some c -> advance st; Buffer.add_char buf c; go ()
+    | None -> error st "unterminated IRI"
+  in
+  go ()
+
+(* Quoted strings: short "..."/'...' and long """...""" / '''...'''. *)
+let read_string st quote =
+  advance st; (* first quote *)
+  let long =
+    peek st = Some quote && peek2 st = Some quote
+    && begin advance st; advance st; true end
+  in
+  let buf = Buffer.create 32 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some c when c = quote ->
+        if not long then begin advance st; Buffer.contents buf end
+        else begin
+          (* In a long string a run of k ≥ 3 quotes means k−3 content
+             quotes followed by the terminator (greedy per the Turtle
+             grammar); runs of 1–2 quotes are content. *)
+          let run = ref 0 in
+          while peek st = Some quote do
+            incr run;
+            advance st
+          done;
+          if !run >= 3 then begin
+            for _ = 1 to !run - 3 do Buffer.add_char buf quote done;
+            Buffer.contents buf
+          end
+          else begin
+            for _ = 1 to !run do Buffer.add_char buf quote done;
+            go ()
+          end
+        end
+    | Some '\\' -> advance st; read_string_escape st buf; go ()
+    | Some ('\n' | '\r') when not long -> error st "newline in string"
+    | Some c -> advance st; Buffer.add_char buf c; go ()
+  in
+  go ()
+
+(* PN_LOCAL: letters, digits, '_', '-', '.', ':', '%XX' and \-escaped
+   punctuation.  Trailing dots belong to the statement terminator. *)
+let read_pn_local st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some c when is_pn_chars c || c = ':' ->
+        advance st; Buffer.add_char buf c; go ()
+    | Some '.' ->
+        (* Only take the dot if a local character follows. *)
+        (match peek2 st with
+        | Some c2 when is_pn_chars c2 || c2 = ':' || c2 = '.' || c2 = '%' ->
+            advance st; Buffer.add_char buf '.'; go ()
+        | _ -> Buffer.contents buf)
+    | Some '%' -> (
+        match (peek2 st, st.pos + 2 < String.length st.src) with
+        | Some h1, true ->
+            let h2 = st.src.[st.pos + 2] in
+            advance st; advance st; advance st;
+            Buffer.add_char buf '%';
+            Buffer.add_char buf h1;
+            Buffer.add_char buf h2;
+            go ()
+        | _ -> error st "truncated %-escape in local name")
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some (( '_' | '~' | '.' | '-' | '!' | '$' | '&' | '\'' | '(' | ')'
+                | '*' | '+' | ',' | ';' | '=' | '/' | '?' | '#' | '@' | '%' )
+                as c) ->
+            advance st; Buffer.add_char buf c; go ()
+        | _ -> error st "invalid local name escape")
+    | _ -> Buffer.contents buf
+  in
+  go ()
+
+let read_pn_prefix st =
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some c when is_pn_chars c -> advance st; Buffer.add_char buf c; go ()
+    | Some '.' -> (
+        match peek2 st with
+        | Some c2 when is_pn_chars c2 || c2 = '.' ->
+            advance st; Buffer.add_char buf '.'; go ()
+        | _ -> Buffer.contents buf)
+    | _ -> Buffer.contents buf
+  in
+  go ()
+
+let read_number st =
+  let buf = Buffer.create 8 in
+  let take () =
+    match peek st with
+    | Some c -> advance st; Buffer.add_char buf c
+    | None -> ()
+  in
+  (match peek st with Some ('+' | '-') -> take () | _ -> ());
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c -> take (); digits ()
+    | _ -> ()
+  in
+  digits ();
+  let decimal = ref false and exponent = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      decimal := true;
+      take ();
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      exponent := true;
+      take ();
+      (match peek st with Some ('+' | '-') -> take () | _ -> ());
+      digits ()
+  | _ -> ());
+  let s = Buffer.contents buf in
+  if !exponent then Double_lit s
+  else if !decimal then Decimal_lit s
+  else if s = "" || s = "+" || s = "-" then error st "malformed number"
+  else Integer_lit s
+
+let keyword_at st kw =
+  (* Case-insensitive match of a bare word at the current position. *)
+  let n = String.length kw in
+  st.pos + n <= String.length st.src
+  && String.lowercase_ascii (String.sub st.src st.pos n)
+     = String.lowercase_ascii kw
+  && (st.pos + n = String.length st.src
+     ||
+     let c = st.src.[st.pos + n] in
+     not (is_pn_chars c || c = ':'))
+
+let consume_word st kw = for _ = 1 to String.length kw do advance st done
+
+let next_token st =
+  let rec skip () =
+    match peek st with
+    | Some c when is_ws c -> advance st; skip ()
+    | Some '#' ->
+        let rec to_eol () =
+          match peek st with
+          | Some '\n' | None -> ()
+          | Some _ -> advance st; to_eol ()
+        in
+        to_eol (); skip ()
+    | _ -> ()
+  in
+  skip ();
+  let line = st.line and col = st.col in
+  let tok =
+    match peek st with
+    | None -> Eof
+    | Some '<' -> Iriref (read_iriref st)
+    | Some '"' -> String_lit (read_string st '"')
+    | Some '\'' -> String_lit (read_string st '\'')
+    | Some '.' -> (
+        match peek2 st with
+        | Some c when is_digit c -> read_number st
+        | _ -> advance st; Dot)
+    | Some ';' -> advance st; Semicolon
+    | Some ',' -> advance st; Comma
+    | Some '[' -> (
+        advance st;
+        let save = (st.pos, st.line, st.col) in
+        let rec skip_ws () =
+          match peek st with
+          | Some c when is_ws c -> advance st; skip_ws ()
+          | _ -> ()
+        in
+        skip_ws ();
+        match peek st with
+        | Some ']' -> advance st; Anon
+        | _ ->
+            let pos, line', col' = save in
+            st.pos <- pos; st.line <- line'; st.col <- col';
+            Lbracket)
+    | Some ']' -> advance st; Rbracket
+    | Some '(' -> advance st; Lparen
+    | Some ')' -> advance st; Rparen
+    | Some '^' -> (
+        advance st;
+        match peek st with
+        | Some '^' -> advance st; Caret_caret
+        | _ -> error st "expected ^^")
+    | Some '@' -> (
+        advance st;
+        if keyword_at st "prefix" then begin consume_word st "prefix"; At_prefix end
+        else if keyword_at st "base" then begin consume_word st "base"; At_base end
+        else
+          (* language tag: [a-zA-Z]+ ('-' [a-zA-Z0-9]+)* *)
+          let buf = Buffer.create 8 in
+          let rec go () =
+            match peek st with
+            | Some c
+              when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                   || is_digit c || c = '-' ->
+                advance st; Buffer.add_char buf c; go ()
+            | _ -> ()
+          in
+          go ();
+          if Buffer.length buf = 0 then error st "empty language tag"
+          else Langtag (Buffer.contents buf))
+    | Some '_' -> (
+        match peek2 st with
+        | Some ':' ->
+            advance st; advance st;
+            let label = read_pn_local st in
+            if label = "" then error st "empty blank node label"
+            else Blank_label label
+        | _ -> error st "expected _: for blank node")
+    | Some ('+' | '-') -> read_number st
+    | Some c when is_digit c -> read_number st
+    | Some ':' ->
+        advance st;
+        Pname ("", read_pn_local st)
+    | Some c when is_pn_chars_base c ->
+        if keyword_at st "a" then begin consume_word st "a"; Kw_a end
+        else if keyword_at st "true" then begin consume_word st "true"; Kw_true end
+        else if keyword_at st "false" then begin consume_word st "false"; Kw_false end
+        else if keyword_at st "prefix" then begin consume_word st "prefix"; Kw_prefix end
+        else if keyword_at st "base" then begin consume_word st "base"; Kw_base end
+        else begin
+          let prefix = read_pn_prefix st in
+          match peek st with
+          | Some ':' ->
+              advance st;
+              Pname (prefix, read_pn_local st)
+          | _ -> error st (Printf.sprintf "expected ':' after %S" prefix)
+        end
+    | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+  in
+  { token = tok; line; col }
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.token = Eof then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []
+
+let pp_token ppf = function
+  | Iriref s -> Format.fprintf ppf "<%s>" s
+  | Pname (p, l) -> Format.fprintf ppf "%s:%s" p l
+  | Blank_label l -> Format.fprintf ppf "_:%s" l
+  | Anon -> Format.pp_print_string ppf "[]"
+  | String_lit s -> Format.fprintf ppf "%S" s
+  | Langtag t -> Format.fprintf ppf "@@%s" t
+  | Integer_lit s | Decimal_lit s | Double_lit s ->
+      Format.pp_print_string ppf s
+  | Kw_a -> Format.pp_print_string ppf "a"
+  | Kw_true -> Format.pp_print_string ppf "true"
+  | Kw_false -> Format.pp_print_string ppf "false"
+  | At_prefix -> Format.pp_print_string ppf "@@prefix"
+  | At_base -> Format.pp_print_string ppf "@@base"
+  | Kw_prefix -> Format.pp_print_string ppf "PREFIX"
+  | Kw_base -> Format.pp_print_string ppf "BASE"
+  | Dot -> Format.pp_print_string ppf "."
+  | Semicolon -> Format.pp_print_string ppf ";"
+  | Comma -> Format.pp_print_string ppf ","
+  | Lbracket -> Format.pp_print_string ppf "["
+  | Rbracket -> Format.pp_print_string ppf "]"
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Caret_caret -> Format.pp_print_string ppf "^^"
+  | Eof -> Format.pp_print_string ppf "<eof>"

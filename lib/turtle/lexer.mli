@@ -1,0 +1,46 @@
+(** Hand-written lexer for the Turtle family of RDF syntaxes
+    (Turtle, N-Triples).
+
+    Produces a stream of located tokens.  String literals are decoded
+    (escape sequences resolved to UTF-8); IRIs and prefixed names are
+    kept textual for the parser to resolve. *)
+
+type token =
+  | Iriref of string        (** [<...>], brackets stripped, \u-decoded *)
+  | Pname of string * string
+      (** prefixed name, split at the first colon: (prefix, local) *)
+  | Blank_label of string   (** [_:label], prefix stripped *)
+  | Anon                    (** [[]] — anonymous blank node *)
+  | String_lit of string    (** decoded contents of any quote form *)
+  | Langtag of string       (** [@en], [@] stripped *)
+  | Integer_lit of string
+  | Decimal_lit of string
+  | Double_lit of string
+  | Kw_a                    (** the predicate keyword [a] *)
+  | Kw_true
+  | Kw_false
+  | At_prefix               (** [@prefix] *)
+  | At_base                 (** [@base] *)
+  | Kw_prefix               (** SPARQL-style [PREFIX] *)
+  | Kw_base                 (** SPARQL-style [BASE] *)
+  | Dot
+  | Semicolon
+  | Comma
+  | Lbracket
+  | Rbracket
+  | Lparen
+  | Rparen
+  | Caret_caret             (** [^^] *)
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Error of string * int * int
+(** [Error (message, line, col)] — 1-based positions. *)
+
+val tokenize : string -> located list
+(** Tokenize a whole document.  Raises {!Error} on malformed input.
+    Comments ([# …\n]) and whitespace are skipped.  The result always
+    ends with an [Eof] token. *)
+
+val pp_token : Format.formatter -> token -> unit

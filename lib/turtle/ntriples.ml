@@ -1,0 +1,98 @@
+let parse src = Parse.parse_graph src
+
+let strict_parse src =
+  (* Check token stream shape: only IRIREFs, blank labels, full
+     literals and dots are allowed, in subject-predicate-object order. *)
+  match Lexer.tokenize src with
+  | exception Lexer.Error (msg, line, col) ->
+      Error (Printf.sprintf "lexical error at %d:%d: %s" line col msg)
+  | tokens ->
+      let ok_term = function
+        | Lexer.Iriref _ | Lexer.Blank_label _ -> true
+        | _ -> false
+      in
+      let rec check = function
+        | [ { Lexer.token = Lexer.Eof; _ } ] -> parse src
+        | { Lexer.token = s; _ } :: rest when ok_term s -> (
+            match rest with
+            | { Lexer.token = Lexer.Iriref _; _ } :: rest2 -> (
+                match rest2 with
+                | { Lexer.token = o; _ } :: rest3 when ok_term o ->
+                    expect_dot rest3
+                | { Lexer.token = Lexer.String_lit _; _ } :: rest3 ->
+                    literal_tail rest3
+                | { Lexer.token = _; line; col } :: _ ->
+                    Error
+                      (Printf.sprintf
+                         "not N-Triples at %d:%d: invalid object" line col)
+                | [] -> Error "unexpected end of input")
+            | { Lexer.token = _; line; col } :: _ ->
+                Error
+                  (Printf.sprintf
+                     "not N-Triples at %d:%d: predicate must be an IRI" line
+                     col)
+            | [] -> Error "unexpected end of input")
+        | { Lexer.token = _; line; col } :: _ ->
+            Error
+              (Printf.sprintf "not N-Triples at %d:%d: invalid subject" line
+                 col)
+        | [] -> Error "unexpected end of input"
+      and literal_tail = function
+        | { Lexer.token = Lexer.Langtag _; _ } :: rest -> expect_dot rest
+        | { Lexer.token = Lexer.Caret_caret; _ }
+          :: { Lexer.token = Lexer.Iriref _; _ }
+          :: rest ->
+            expect_dot rest
+        | rest -> expect_dot rest
+      and expect_dot = function
+        | { Lexer.token = Lexer.Dot; _ } :: rest -> check rest
+        | { Lexer.token = _; line; col } :: _ ->
+            Error (Printf.sprintf "not N-Triples at %d:%d: expected ." line col)
+        | [] -> Error "unexpected end of input"
+      in
+      check tokens
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let term_text = function
+  | Rdf.Term.Iri iri -> Printf.sprintf "<%s>" (Rdf.Iri.to_string iri)
+  | Rdf.Term.Bnode b -> Printf.sprintf "_:%s" (Rdf.Bnode.label b)
+  | Rdf.Term.Literal l -> (
+      let lexical = escape_string (Rdf.Literal.lexical l) in
+      match Rdf.Literal.lang l with
+      | Some tag -> Printf.sprintf "\"%s\"@%s" lexical tag
+      | None ->
+          if Rdf.Iri.equal (Rdf.Literal.datatype l) (Rdf.Xsd.iri Rdf.Xsd.String)
+          then Printf.sprintf "\"%s\"" lexical
+          else
+            Printf.sprintf "\"%s\"^^<%s>" lexical
+              (Rdf.Iri.to_string (Rdf.Literal.datatype l)))
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Rdf.Graph.iter
+    (fun tr ->
+      Buffer.add_string buf (term_text (Rdf.Triple.subject tr));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf
+        (Printf.sprintf "<%s>" (Rdf.Iri.to_string (Rdf.Triple.predicate tr)));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (term_text (Rdf.Triple.obj tr));
+      Buffer.add_string buf " .\n")
+    g;
+  Buffer.contents buf
+
+let to_file path g =
+  Out_channel.with_open_bin path (fun oc -> output_string oc (to_string g))

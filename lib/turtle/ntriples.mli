@@ -1,0 +1,20 @@
+(** N-Triples: the line-based flat subset of Turtle.
+
+    Parsing delegates to the Turtle parser (every N-Triples document is
+    a Turtle document); {!strict_parse} additionally enforces the
+    N-Triples restrictions — no directives, no prefixed names, no
+    shorthand literals, no [a], no [;]/[,], no collections. *)
+
+val parse : string -> (Rdf.Graph.t, string) result
+(** Lenient parse (full Turtle accepted). *)
+
+val strict_parse : string -> (Rdf.Graph.t, string) result
+(** Parse enforcing the N-Triples grammar; returns [Error] with the
+    offending line when the document uses Turtle-only syntax. *)
+
+val to_string : Rdf.Graph.t -> string
+(** Canonical N-Triples: one triple per line in triple order, absolute
+    IRIs in angle brackets, all literals quoted with explicit
+    datatypes (plain [xsd:string] literals stay bare-quoted). *)
+
+val to_file : string -> Rdf.Graph.t -> unit

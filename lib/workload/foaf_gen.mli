@@ -1,0 +1,40 @@
+(** Synthetic FOAF social graphs — the linked-data-portal workload.
+
+    The paper motivates validation with linked data portals ([16]) and
+    its running example is the recursive Person shape (Examples 1, 2,
+    14).  This generator produces deterministic social graphs with a
+    controllable fraction of invalid persons, standing in for the
+    portal datasets we cannot ship (see DESIGN.md, substitutions). *)
+
+type violation =
+  | Missing_name     (** no [foaf:name] arc (the [mary]-style failure) *)
+  | Extra_age        (** two [foaf:age] arcs *)
+  | Age_not_integer  (** [foaf:age "old"] *)
+  | Knows_literal    (** [foaf:knows "somebody"] — fails the reference *)
+
+type profile = {
+  n_persons : int;
+  invalid_fraction : float;
+      (** fraction of persons given one random violation *)
+  knows_degree : int;
+      (** average out-degree of [foaf:knows] among valid persons;
+          valid persons only know valid persons, so violations do not
+          cascade through the recursion *)
+  seed : int;
+}
+
+val default_profile : profile
+(** 100 persons, 10% invalid, degree 2, seed 42. *)
+
+type generated = {
+  graph : Rdf.Graph.t;
+  valid : Rdf.Term.t list;    (** persons generated without violation *)
+  invalid : Rdf.Term.t list;  (** persons given a violation *)
+}
+
+val generate : profile -> generated
+
+val person_schema : unit -> Shex.Schema.t * Shex.Label.t
+(** The Example 1/14 schema:
+    [person ↦ foaf:age→xsd:integer ‖ (foaf:name→xsd:string)+ ‖
+    (foaf:knows→@person)⋆], and its label. *)

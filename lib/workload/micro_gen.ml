@@ -1,0 +1,79 @@
+let ex local = Rdf.Iri.of_string_exn ("http://example.org/" ^ local)
+let focus = Rdf.Term.Iri (ex "n")
+let pred k = ex (Printf.sprintf "p%d" k)
+
+let arc_values name values =
+  Shex.Rse.arc_v
+    (Shex.Value_set.Pred (ex name))
+    (Shex.Value_set.obj_terms (List.map Rdf.Term.int values))
+
+(* Wide enough that up to 63 b-arcs stay distinct (graphs are sets)
+   and in range. *)
+let b_range = List.init 63 (fun k -> k + 1)
+
+let example5_shape () =
+  Shex.Rse.and_ (arc_values "a" [ 1 ]) (Shex.Rse.star (arc_values "b" b_range))
+
+let example5_neighbourhood n =
+  if n < 1 || n > 64 then
+    invalid_arg "example5_neighbourhood: n must be in 1..64";
+  let a = Rdf.Triple.make focus (ex "a") (Rdf.Term.int 1) in
+  let bs =
+    List.init (n - 1) (fun k ->
+        Rdf.Triple.make focus (ex "b") (Rdf.Term.int (k + 1)))
+  in
+  Rdf.Graph.of_list (a :: bs)
+
+let example5_neighbourhood_invalid n =
+  if n < 1 || n > 63 then
+    invalid_arg "example5_neighbourhood_invalid: n must be in 1..63";
+  (* No a-arc at all: the required arc is missing, and every b-value is
+     in range, so backtracking fails only after exhausting all
+     decompositions of the ‖. *)
+  Rdf.Graph.of_list
+    (List.init n (fun k ->
+         Rdf.Triple.make focus (ex "b") (Rdf.Term.int (k + 1))))
+
+let balanced_shape width =
+  let values = List.init (max 2 width) (fun k -> k + 1) in
+  Shex.Rse.star
+    (Shex.Rse.and_ (arc_values "a" values) (arc_values "b" values))
+
+let balanced_neighbourhood k =
+  (* A graph is a set, so the k arcs per predicate carry k distinct
+     values; pair it with [balanced_shape k]. *)
+  let arcs name =
+    List.init k (fun j ->
+        Rdf.Triple.make focus (ex name) (Rdf.Term.int (j + 1)))
+  in
+  Rdf.Graph.of_list (arcs "a" @ arcs "b")
+
+let wide_shape f =
+  let constraint_for k =
+    let a =
+      Shex.Rse.arc_v
+        (Shex.Value_set.Pred (pred k))
+        (Shex.Value_set.Obj_kind Shex.Value_set.Literal_kind)
+    in
+    match k mod 4 with
+    | 0 -> a
+    | 1 -> Shex.Rse.star a
+    | 2 -> Shex.Rse.plus a
+    | _ -> Shex.Rse.opt a
+  in
+  Shex.Rse.and_all (List.init f constraint_for)
+
+let wide_neighbourhood f =
+  let triples =
+    List.concat
+      (List.init f (fun k ->
+           let one = [ Rdf.Triple.make focus (pred k) (Rdf.Term.int k) ] in
+           match k mod 4 with
+           | 0 | 3 -> one
+           | 1 | 2 ->
+               one
+               @ [ Rdf.Triple.make focus (pred k)
+                     (Rdf.Term.int (1000 + k)) ]
+           | _ -> assert false))
+  in
+  Rdf.Graph.of_list triples

@@ -1,0 +1,38 @@
+(** Microbenchmark workloads: parameterised versions of the paper's
+    worked examples, used by experiments E1, E2, E4 and E5. *)
+
+val focus : Rdf.Term.t
+(** The node ([ex:n]) whose neighbourhood the generators populate. *)
+
+val example5_shape : unit -> Shex.Rse.t
+(** Example 5: [a→{1} ‖ (b→{1,…,9})⋆] — the value set is widened so
+    arbitrarily many distinct b-arcs exist. *)
+
+val example5_neighbourhood : int -> Rdf.Graph.t
+(** [example5_neighbourhood n]: one matching a-arc plus [n−1] distinct
+    b-arcs — a valid neighbourhood of [n] triples for
+    {!example5_shape} when [n−1 ≤ 9]. *)
+
+val example5_neighbourhood_invalid : int -> Rdf.Graph.t
+(** Same but the a-arc is replaced by a second out-of-range arc, so
+    matching fails (the worst case for backtracking: all 2ⁿ
+    decompositions are explored). *)
+
+val balanced_shape : int -> Shex.Rse.t
+(** [balanced_shape w] is Example 10 with the value sets widened to
+    [{1,…,w}]: [(a→{1..w} ‖ b→{1..w})⋆] — the balance checker whose
+    derivative grows.  Widening is needed because graphs are sets:
+    with only two values at most two distinct a-arcs can exist. *)
+
+val balanced_neighbourhood : int -> Rdf.Graph.t
+(** [balanced_neighbourhood k]: [k] a-arcs and [k] b-arcs with
+    distinct values [1..k] — a matching input for [balanced_shape k]. *)
+
+val wide_shape : int -> Shex.Rse.t
+(** [wide_shape f]: a SORBE shape with [f] constraints over distinct
+    predicates [p0 … p(f−1)], alternating cardinalities
+    [{1,1}], [{0,*}], [{1,*}], [{0,1}]. *)
+
+val wide_neighbourhood : int -> Rdf.Graph.t
+(** A valid neighbourhood for [wide_shape f]: one arc per required
+    predicate, plus extra arcs on the starred ones. *)

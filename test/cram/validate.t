@@ -1,0 +1,166 @@
+Set up a schema and data reproducing the paper's Examples 1 and 2:
+
+  $ cat > person.shex <<'SCHEMA'
+  > PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+  > PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+  > <Person> {
+  >   foaf:age xsd:integer
+  >   , foaf:name xsd:string+
+  >   , foaf:knows @<Person>*
+  > }
+  > SCHEMA
+
+  $ cat > people.ttl <<'DATA'
+  > @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+  > @prefix : <http://example.org/> .
+  > :john foaf:age 23; foaf:name "John"; foaf:knows :bob .
+  > :bob foaf:age 34; foaf:name "Bob", "Robert" .
+  > :mary foaf:age 50, 65 .
+  > DATA
+
+Whole-graph typing (Example 2's verdicts):
+
+  $ shex-validate --schema person.shex --data people.ttl
+  <http://example.org/bob> ↦ {<Person>}
+  <http://example.org/john> ↦ {<Person>}
+
+Check a single conforming node:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/john --shape Person
+  PASS <http://example.org/john>@<Person>
+  1 conformant, 0 nonconformant
+
+A nonconforming node sets exit code 1 and explains why:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/mary --shape Person
+  FAIL <http://example.org/mary>@<Person>
+       triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> "65"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)
+  0 conformant, 1 nonconformant
+  [1]
+
+Shape maps select nodes by triple patterns; reports can be JSON:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --shape-map '{FOCUS foaf:age _}@<Person>' --result-map
+  <http://example.org/bob>@<Person>,
+  <http://example.org/john>@<Person>,
+  <http://example.org/mary>@!<Person>
+  [1]
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --shape-map 'ex:john@<Person>' --json
+  {
+    "entries": [
+      {
+        "node": "<http://example.org/john>",
+        "shape": "Person",
+        "status": "conformant"
+      }
+    ],
+    "conformant": 1,
+    "nonconformant": 0
+  }
+
+The schema exports to ShExJ:
+
+  $ shex-validate --schema person.shex --export-shexj
+  {
+    "type": "Schema",
+    "shapes": [
+      {
+        "type": "Shape",
+        "id": "Person",
+        "closed": true,
+        "expression": {
+          "type": "EachOf",
+          "expressions": [
+            {
+              "type": "TripleConstraint",
+              "predicate": "http://xmlns.com/foaf/0.1/age",
+              "valueExpr": {
+                "type": "NodeConstraint",
+                "datatype": "http://www.w3.org/2001/XMLSchema#integer"
+              },
+              "min": 1,
+              "max": 1
+            },
+            {
+              "type": "TripleConstraint",
+              "predicate": "http://xmlns.com/foaf/0.1/name",
+              "valueExpr": {
+                "type": "NodeConstraint",
+                "datatype": "http://www.w3.org/2001/XMLSchema#string"
+              },
+              "min": 1,
+              "max": 1
+            },
+            {
+              "type": "TripleConstraint",
+              "predicate": "http://xmlns.com/foaf/0.1/knows",
+              "valueExpr": "Person",
+              "min": 0,
+              "max": -1
+            },
+            {
+              "type": "TripleConstraint",
+              "predicate": "http://xmlns.com/foaf/0.1/name",
+              "valueExpr": {
+                "type": "NodeConstraint",
+                "datatype": "http://www.w3.org/2001/XMLSchema#string"
+              },
+              "min": 0,
+              "max": -1
+            }
+          ]
+        }
+      }
+    ]
+  }
+
+And to the SPARQL translation of §3 (recursion is refused):
+
+  $ shex-validate --schema person.shex --show-sparql Person
+  cannot translate Person: shape references (recursion) cannot be expressed in SPARQL (§3)
+  [2]
+
+Usage errors:
+
+  $ shex-validate --schema person.shex --data people.ttl --shape Nope
+  --node and --shape must be given together
+  [2]
+
+Schema inference from example nodes:
+
+  $ shex-validate --data people.ttl \
+  >   --infer 'ex:john ex:bob' --infer-label Person
+  PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+  PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+  
+  <Person> {
+    foaf:age xsd:integer , foaf:name xsd:string {1,2} , foaf:knows @<Person> ?
+  }
+
+The auto engine compiles single-occurrence shapes to the counting matcher:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/john --shape Person --engine auto
+  PASS <http://example.org/john>@<Person>
+  1 conformant, 0 nonconformant
+
+A ShExJ export round-trips as a schema input (.json extension):
+
+  $ shex-validate --schema person.shex --export-shexj > person.json
+  $ shex-validate --schema person.json --data people.ttl \
+  >   --node http://example.org/bob --shape Person --quiet
+
+Shape maps with explicit node lists:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --shape-map 'ex:john@<Person>, ex:mary@<Person>'
+  PASS <http://example.org/john>@<Person>
+  FAIL <http://example.org/mary>@<Person>
+       triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> "65"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)
+  1 conformant, 1 nonconformant
+  [1]

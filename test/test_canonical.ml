@@ -1,0 +1,95 @@
+(* Tests for canonical serialization. *)
+
+open Util
+
+let b name = Rdf.Term.bnode name
+let p name = ex name
+
+let test_ground_graph_stable () =
+  let g = graph_of [ t3 "a" "p" (num 1); t3 "b" "q" (num 2) ] in
+  check_bool "same text twice" true
+    (String.equal (Turtle.Canonical.to_string g) (Turtle.Canonical.to_string g));
+  check_bool "equal to itself" true (Turtle.Canonical.equal g g)
+
+let test_renamed_bnodes_same_text () =
+  let mk n1 n2 =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (b n1) (p "p") (num 1);
+        Rdf.Triple.make (b n1) (p "q") (b n2);
+        Rdf.Triple.make (b n2) (p "r") (Rdf.Term.str "leaf") ]
+  in
+  let g1 = mk "x" "y" and g2 = mk "alpha" "beta" in
+  check_string "identical canonical text" (Turtle.Canonical.to_string g1)
+    (Turtle.Canonical.to_string g2);
+  check_bool "canonical equal" true (Turtle.Canonical.equal g1 g2)
+
+let test_different_graphs_differ () =
+  let g1 = Rdf.Graph.of_list [ Rdf.Triple.make (b "x") (p "p") (num 1) ] in
+  let g2 = Rdf.Graph.of_list [ Rdf.Triple.make (b "x") (p "p") (num 2) ] in
+  check_bool "different" false (Turtle.Canonical.equal g1 g2)
+
+let test_symmetric_twins () =
+  (* Two indistinguishable bnodes: any labelling gives the same text,
+     so renamings agree. *)
+  let twins names =
+    Rdf.Graph.of_list
+      (List.map (fun n -> Rdf.Triple.make (b n) (p "p") (num 1)) names)
+  in
+  check_bool "twins canonical-equal" true
+    (Turtle.Canonical.equal (twins [ "u"; "v" ]) (twins [ "s"; "t" ]))
+
+let test_cycle_rotation_same_text () =
+  let cycle names =
+    match names with
+    | [ n1; n2; n3 ] ->
+        Rdf.Graph.of_list
+          [ Rdf.Triple.make (b n1) (p "next") (b n2);
+            Rdf.Triple.make (b n2) (p "next") (b n3);
+            Rdf.Triple.make (b n3) (p "next") (b n1) ]
+    | _ -> assert false
+  in
+  check_string "rotated cycles"
+    (Turtle.Canonical.to_string (cycle [ "a"; "b"; "c" ]))
+    (Turtle.Canonical.to_string (cycle [ "q"; "r"; "s" ]))
+
+let test_canonical_matches_isomorphism () =
+  (* Canonical equality agrees with the isomorphism decision. *)
+  let pairs =
+    [ ( Rdf.Graph.of_list [ Rdf.Triple.make (b "x") (p "p") (b "x") ],
+        Rdf.Graph.of_list [ Rdf.Triple.make (b "x") (p "p") (b "y") ] );
+      ( Rdf.Graph.of_list [ Rdf.Triple.make (b "x") (p "p") (num 1) ],
+        Rdf.Graph.of_list [ Rdf.Triple.make (b "q") (p "p") (num 1) ] ) ]
+  in
+  List.iter
+    (fun (g1, g2) ->
+      check_bool "agrees" true
+        (Bool.equal
+           (Turtle.Canonical.equal g1 g2)
+           (Rdf.Isomorphism.isomorphic g1 g2)))
+    pairs
+
+let test_canonical_is_isomorphic_to_input () =
+  let g =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (b "x") (p "p") (b "y");
+        Rdf.Triple.make (b "y") (p "p") (b "x");
+        Rdf.Triple.make (node "root") (p "q") (b "x") ]
+  in
+  check_bool "isomorphic" true
+    (Rdf.Isomorphism.isomorphic g (Turtle.Canonical.canonicalize g))
+
+let suites =
+  [ ( "rdf.canonical",
+      [ Alcotest.test_case "ground graphs stable" `Quick
+          test_ground_graph_stable;
+        Alcotest.test_case "renamed bnodes agree" `Quick
+          test_renamed_bnodes_same_text;
+        Alcotest.test_case "different graphs differ" `Quick
+          test_different_graphs_differ;
+        Alcotest.test_case "symmetric twins" `Quick test_symmetric_twins;
+        Alcotest.test_case "cycle rotations agree" `Quick
+          test_cycle_rotation_same_text;
+        Alcotest.test_case "agrees with isomorphism" `Quick
+          test_canonical_matches_isomorphism;
+        Alcotest.test_case "canonical form is isomorphic" `Quick
+          test_canonical_is_isomorphic_to_input ] ) ]

@@ -1,0 +1,163 @@
+(* Tests for graph isomorphism and skolemization. *)
+
+open Util
+
+let b name = Rdf.Term.bnode name
+let p name = ex name
+
+let g_of = graph_of
+
+let test_ground_graphs () =
+  let g1 = g_of [ t3 "a" "p" (num 1); t3 "b" "q" (num 2) ] in
+  let g2 = g_of [ t3 "b" "q" (num 2); t3 "a" "p" (num 1) ] in
+  check_bool "equal ground graphs" true (Rdf.Isomorphism.isomorphic g1 g2);
+  let g3 = g_of [ t3 "a" "p" (num 1) ] in
+  check_bool "different sizes" false (Rdf.Isomorphism.isomorphic g1 g3);
+  let g4 = g_of [ t3 "a" "p" (num 1); t3 "b" "q" (num 3) ] in
+  check_bool "different ground triple" false
+    (Rdf.Isomorphism.isomorphic g1 g4)
+
+let test_bnode_renaming () =
+  let g1 =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (b "x") (p "p") (num 1);
+        Rdf.Triple.make (b "x") (p "q") (b "y") ]
+  in
+  let g2 =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (b "a") (p "p") (num 1);
+        Rdf.Triple.make (b "a") (p "q") (b "b") ]
+  in
+  check_bool "renamed bnodes" true (Rdf.Isomorphism.isomorphic g1 g2);
+  match Rdf.Isomorphism.find_mapping g1 g2 with
+  | Some mapping -> check_int "two pairs" 2 (List.length mapping)
+  | None -> Alcotest.fail "expected a mapping"
+
+let test_structure_matters () =
+  (* _:x p _:x (self-loop) vs _:x p _:y — not isomorphic. *)
+  let g1 = Rdf.Graph.of_list [ Rdf.Triple.make (b "x") (p "p") (b "x") ] in
+  let g2 = Rdf.Graph.of_list [ Rdf.Triple.make (b "x") (p "p") (b "y") ] in
+  check_bool "self-loop vs edge" false (Rdf.Isomorphism.isomorphic g1 g2)
+
+let test_cycle_rotation () =
+  (* A 3-cycle of bnodes is isomorphic to its relabelled rotation. *)
+  let cycle names =
+    match names with
+    | [ n1; n2; n3 ] ->
+        Rdf.Graph.of_list
+          [ Rdf.Triple.make (b n1) (p "next") (b n2);
+            Rdf.Triple.make (b n2) (p "next") (b n3);
+            Rdf.Triple.make (b n3) (p "next") (b n1) ]
+    | _ -> assert false
+  in
+  check_bool "rotated cycle" true
+    (Rdf.Isomorphism.isomorphic
+       (cycle [ "a"; "b"; "c" ])
+       (cycle [ "u"; "v"; "w" ]))
+
+let test_cycle_vs_path () =
+  let g1 =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (b "a") (p "next") (b "b");
+        Rdf.Triple.make (b "b") (p "next") (b "c");
+        Rdf.Triple.make (b "c") (p "next") (b "a") ]
+  in
+  let g2 =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (b "a") (p "next") (b "b");
+        Rdf.Triple.make (b "b") (p "next") (b "c");
+        Rdf.Triple.make (b "a") (p "next") (b "c") ]
+  in
+  check_bool "cycle vs triangle-with-chord shape" false
+    (Rdf.Isomorphism.isomorphic g1 g2)
+
+let test_indistinguishable_bnodes () =
+  (* Two structurally identical bnodes: any bijection works. *)
+  let twins names =
+    Rdf.Graph.of_list
+      (List.map (fun n -> Rdf.Triple.make (b n) (p "p") (num 1)) names)
+  in
+  check_bool "twins" true
+    (Rdf.Isomorphism.isomorphic (twins [ "x"; "y" ]) (twins [ "u"; "v" ]))
+
+let test_mixed_ground_and_bnodes () =
+  let g1 =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (node "alice") (p "knows") (b "x");
+        Rdf.Triple.make (b "x") (p "name") (Rdf.Term.str "Bob") ]
+  in
+  let g2 =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (node "alice") (p "knows") (b "someone");
+        Rdf.Triple.make (b "someone") (p "name") (Rdf.Term.str "Bob") ]
+  in
+  check_bool "bnode behind ground anchor" true
+    (Rdf.Isomorphism.isomorphic g1 g2);
+  let g3 =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (node "alice") (p "knows") (b "someone");
+        Rdf.Triple.make (b "someone") (p "name") (Rdf.Term.str "Carol") ]
+  in
+  check_bool "different literal behind bnode" false
+    (Rdf.Isomorphism.isomorphic g1 g3)
+
+let test_turtle_roundtrip_isomorphic () =
+  (* Anonymous bnodes get fresh labels on reparse: graphs are
+     isomorphic though not equal. *)
+  let src =
+    "@prefix : <http://example.org/> .\n\
+     :alice :knows [ :name \"Bob\" ; :age 42 ] ."
+  in
+  let g1 = Turtle.Parse.parse_graph_exn src in
+  let g2 = Turtle.Parse.parse_graph_exn (Turtle.Write.to_string g1) in
+  check_bool "roundtrip isomorphic" true (Rdf.Isomorphism.isomorphic g1 g2)
+
+let test_skolemize () =
+  let g =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (b "x") (p "p") (b "y");
+        Rdf.Triple.make (b "y") (p "q") (num 1) ]
+  in
+  let sk = Rdf.Skolem.skolemize g in
+  check_bool "no bnodes left" true
+    (Rdf.Graph.for_all
+       (fun tr ->
+         (not (Rdf.Term.is_bnode (Rdf.Triple.subject tr)))
+         && not (Rdf.Term.is_bnode (Rdf.Triple.obj tr)))
+       sk);
+  check_int "same size" (Rdf.Graph.cardinal g) (Rdf.Graph.cardinal sk);
+  let back = Rdf.Skolem.unskolemize sk in
+  Alcotest.check graph "unskolemize inverts" g back
+
+let test_skolemize_custom_authority () =
+  let g = Rdf.Graph.of_list [ Rdf.Triple.make (b "x") (p "p") (num 1) ] in
+  let sk = Rdf.Skolem.skolemize ~authority:"urn:sk:" g in
+  check_bool "uses authority" true
+    (Rdf.Graph.exists
+       (fun tr ->
+         match Rdf.Triple.subject tr with
+         | Rdf.Term.Iri i ->
+             String.length (Rdf.Iri.to_string i) > 7
+             && String.sub (Rdf.Iri.to_string i) 0 7 = "urn:sk:"
+         | _ -> false)
+       sk);
+  Alcotest.check graph "roundtrip" g
+    (Rdf.Skolem.unskolemize ~authority:"urn:sk:" sk)
+
+let suites =
+  [ ( "rdf.isomorphism",
+      [ Alcotest.test_case "ground graphs" `Quick test_ground_graphs;
+        Alcotest.test_case "bnode renaming" `Quick test_bnode_renaming;
+        Alcotest.test_case "structure matters" `Quick test_structure_matters;
+        Alcotest.test_case "cycle rotation" `Quick test_cycle_rotation;
+        Alcotest.test_case "cycle vs chord" `Quick test_cycle_vs_path;
+        Alcotest.test_case "indistinguishable bnodes" `Quick
+          test_indistinguishable_bnodes;
+        Alcotest.test_case "mixed ground and bnodes" `Quick
+          test_mixed_ground_and_bnodes;
+        Alcotest.test_case "turtle roundtrip" `Quick
+          test_turtle_roundtrip_isomorphic ] );
+    ( "rdf.skolem",
+      [ Alcotest.test_case "skolemize/unskolemize" `Quick test_skolemize;
+        Alcotest.test_case "custom authority" `Quick
+          test_skolemize_custom_authority ] ) ]

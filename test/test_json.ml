@@ -1,0 +1,77 @@
+(* Tests for the JSON substrate: parse/print round-trips, escapes,
+   accessors and error reporting. *)
+
+open Util
+
+let parse s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error msg -> Alcotest.fail msg
+
+let test_scalars () =
+  check_bool "null" true (parse "null" = Json.Null);
+  check_bool "true" true (parse "true" = Json.Bool true);
+  check_bool "false" true (parse "false" = Json.Bool false);
+  check_bool "int" true (parse "42" = Json.Number 42.0);
+  check_bool "negative" true (parse "-7" = Json.Number (-7.0));
+  check_bool "float" true (parse "2.5" = Json.Number 2.5);
+  check_bool "exponent" true (parse "1e3" = Json.Number 1000.0);
+  check_bool "string" true (parse "\"hi\"" = Json.String "hi")
+
+let test_structures () =
+  check_bool "array" true
+    (parse "[1, 2, 3]" = Json.Array [ Json.Number 1.0; Json.Number 2.0; Json.Number 3.0 ]);
+  check_bool "empty array" true (parse "[]" = Json.Array []);
+  check_bool "empty object" true (parse "{}" = Json.Object []);
+  check_bool "object" true
+    (parse "{\"a\": 1, \"b\": [true]}"
+    = Json.Object
+        [ ("a", Json.Number 1.0); ("b", Json.Array [ Json.Bool true ]) ]);
+  check_bool "nested" true
+    (parse "{\"x\": {\"y\": null}}"
+    = Json.Object [ ("x", Json.Object [ ("y", Json.Null) ]) ])
+
+let test_string_escapes () =
+  check_bool "basic escapes" true
+    (parse "\"a\\n\\t\\\"b\\\\c\"" = Json.String "a\n\t\"b\\c");
+  check_bool "unicode" true (parse "\"\\u00e9\"" = Json.String "\xc3\xa9");
+  check_bool "surrogate pair" true
+    (parse "\"\\ud83d\\ude00\"" = Json.String "\xf0\x9f\x98\x80")
+
+let test_errors () =
+  List.iter
+    (fun src ->
+      check_bool src true (Result.is_error (Json.of_string src)))
+    [ ""; "{"; "[1,"; "\"abc"; "tru"; "{\"a\" 1}"; "[1 2]"; "nul";
+      "{\"a\":1} extra"; "\"\\q\"" ]
+
+let test_roundtrip () =
+  let v =
+    Json.Object
+      [ ("name", Json.String "shex \"quoted\"\nline");
+        ("counts", Json.Array [ Json.int 1; Json.int 2 ]);
+        ("ok", Json.Bool true);
+        ("nothing", Json.Null);
+        ("pi", Json.Number 3.25) ]
+  in
+  check_bool "pretty roundtrip" true (parse (Json.to_string v) = v);
+  check_bool "minified roundtrip" true
+    (parse (Json.to_string ~minify:true v) = v)
+
+let test_accessors () =
+  let v = parse "{\"a\": 1, \"b\": \"x\", \"c\": [1,2]}" in
+  Alcotest.(check (option int)) "find_int" (Some 1) (Json.find_int "a" v);
+  Alcotest.(check (option string)) "find_string" (Some "x")
+    (Json.find_string "b" v);
+  check_bool "find_list" true (Json.find_list "c" v <> None);
+  check_bool "missing" true (Json.find "zz" v = None);
+  check_bool "as_int non-integer" true (Json.as_int (Json.Number 1.5) = None)
+
+let suites =
+  [ ( "json",
+      [ Alcotest.test_case "scalars" `Quick test_scalars;
+        Alcotest.test_case "structures" `Quick test_structures;
+        Alcotest.test_case "string escapes" `Quick test_string_escapes;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "accessors" `Quick test_accessors ] ) ]

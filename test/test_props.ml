@@ -1,0 +1,428 @@
+(* Property-based tests (qcheck): random regular shape expressions and
+   random neighbourhoods, checking the invariants that tie the three
+   matchers (derivatives, backtracking, enumeration) together. *)
+
+open Util
+open Shex
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Universe: predicates {a, b, c} × integer values {1, 2, 3} at node n.
+   Small enough for the exponential backtracking oracle, rich enough to
+   exercise overlaps between value sets. *)
+
+let preds = [ "a"; "b"; "c" ]
+let values = [ 1; 2; 3 ]
+
+let all_triples =
+  List.concat_map
+    (fun p -> List.map (fun v -> t3 "n" p (num v)) values)
+    preds
+
+let gen_triple = QCheck.Gen.oneofl all_triples
+
+let gen_graph =
+  QCheck.Gen.(
+    list_size (int_bound 5) gen_triple >|= fun ts -> Rdf.Graph.of_list ts)
+
+(* Random expressions built with the smart constructors.  Arc value
+   sets are non-empty subsets of the value universe. *)
+let gen_arc =
+  QCheck.Gen.(
+    oneofl preds >>= fun p ->
+    list_size (int_range 1 3) (oneofl values) >>= fun vs ->
+    return (arc_num p (List.sort_uniq Int.compare vs)))
+
+let gen_rse =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self size ->
+           if size <= 1 then
+             frequency
+               [ (6, gen_arc); (1, return Rse.epsilon);
+                 (1, return Rse.empty) ]
+           else
+             frequency
+               [ (2, gen_arc);
+                 (2, self (size - 1) >|= Rse.star);
+                 ( 3,
+                   self (size / 2) >>= fun e1 ->
+                   self (size / 2) >|= fun e2 -> Rse.and_ e1 e2 );
+                 ( 3,
+                   self (size / 2) >>= fun e1 ->
+                   self (size / 2) >|= fun e2 -> Rse.or_ e1 e2 );
+                 (1, self (size - 1) >|= Rse.opt) ]))
+
+let arb_rse = QCheck.make ~print:Rse.to_string gen_rse
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun g -> Format.asprintf "%a" Rdf.Graph.pp g)
+    gen_graph
+
+let arb_rse_graph = QCheck.pair arb_rse arb_graph
+
+(* Keep the backtracking oracle tractable. *)
+let small_enough g = Rdf.Graph.cardinal g <= 5
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let count = 500
+
+let prop_deriv_equals_backtrack =
+  QCheck.Test.make ~count ~name:"derivatives ≡ backtracking (Fig. 1)"
+    arb_rse_graph (fun (e, g) ->
+      QCheck.assume (small_enough g);
+      Bool.equal
+        (Deriv.matches (node "n") g e)
+        (Backtrack.matches (node "n") g e))
+
+let prop_deriv_equals_enumeration =
+  QCheck.Test.make ~count ~name:"derivatives ≡ enumerated Sn[[e]]"
+    arb_rse_graph (fun (e, g) ->
+      QCheck.assume (small_enough g);
+      match Semantics.mem ~node:(node "n") g e with
+      | Ok verdict -> Bool.equal verdict (Deriv.matches (node "n") g e)
+      | Error _ -> QCheck.assume_fail ())
+
+let prop_order_independence =
+  (* Consuming the neighbourhood in any order yields the same verdict. *)
+  QCheck.Test.make ~count
+    ~name:"derivative matching is consumption-order independent"
+    (QCheck.triple arb_rse arb_graph QCheck.int)
+    (fun (e, g, seed) ->
+      QCheck.assume (small_enough g);
+      let dts =
+        List.map Neigh.out (Rdf.Graph.to_list (Rdf.Graph.neighbourhood (node "n") g))
+      in
+      let shuffled =
+        let st = Random.State.make [| seed |] in
+        let arr = Array.of_list dts in
+        let n = Array.length arr in
+        for i = n - 1 downto 1 do
+          let j = Random.State.int st (i + 1) in
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(j);
+          arr.(j) <- tmp
+        done;
+        Array.to_list arr
+      in
+      Bool.equal
+        (Rse.nullable (Deriv.deriv_graph dts e))
+        (Rse.nullable (Deriv.deriv_graph shuffled e)))
+
+let prop_nullable_iff_matches_empty =
+  QCheck.Test.make ~count ~name:"ν(e) ⇔ e matches the empty graph" arb_rse
+    (fun e ->
+      Bool.equal (Rse.nullable e)
+        (Deriv.matches (node "n") Rdf.Graph.empty e))
+
+let prop_raw_ctors_same_verdict =
+  (* §4 simplification changes sizes, never verdicts. *)
+  QCheck.Test.make ~count:200
+    ~name:"raw constructors give the same verdict (E5 soundness)"
+    arb_rse_graph (fun (e, g) ->
+      QCheck.assume (Rdf.Graph.cardinal g <= 4);
+      Bool.equal
+        (Deriv.matches (node "n") g e)
+        (Deriv.matches ~ctors:Rse.raw_ctors (node "n") g e))
+
+let prop_smart_never_bigger =
+  QCheck.Test.make ~count ~name:"smart derivative ≤ raw derivative size"
+    (QCheck.pair arb_rse QCheck.(int_bound (List.length all_triples - 1)))
+    (fun (e, idx) ->
+      let dt = Neigh.out (List.nth all_triples idx) in
+      Rse.size (Deriv.deriv dt e)
+      <= Rse.size (Deriv.deriv ~ctors:Rse.raw_ctors dt e))
+
+let prop_deriv_not_nullable_after_epsilon =
+  (* ∂t(ε) = ∅ generalises: deriving any nullable-only expression by a
+     triple it cannot match yields a non-matching expression. *)
+  QCheck.Test.make ~count ~name:"∂t(e) nullable ⇒ e matches {t}"
+    (QCheck.pair arb_rse QCheck.(int_bound (List.length all_triples - 1)))
+    (fun (e, idx) ->
+      let tr = List.nth all_triples idx in
+      let d = Deriv.deriv (Neigh.out tr) e in
+      Bool.equal (Rse.nullable d)
+        (Deriv.matches (node "n") (Rdf.Graph.singleton tr) e))
+
+let prop_star_absorbs =
+  (* e* matches any neighbourhood that can be partitioned into e's —
+     in particular (e⋆)⋆ behaves like e⋆. *)
+  QCheck.Test.make ~count ~name:"(e⋆)⋆ ≡ e⋆" arb_rse_graph (fun (e, g) ->
+      QCheck.assume (small_enough g);
+      let s = Rse.star e in
+      Bool.equal
+        (Deriv.matches (node "n") g s)
+        (Deriv.matches (node "n") g (Rse.star s)))
+
+let prop_or_commutes =
+  QCheck.Test.make ~count ~name:"e₁|e₂ ≡ e₂|e₁"
+    (QCheck.triple arb_rse arb_rse arb_graph) (fun (e1, e2, g) ->
+      QCheck.assume (small_enough g);
+      Bool.equal
+        (Deriv.matches (node "n") g (Rse.or_ e1 e2))
+        (Deriv.matches (node "n") g (Rse.or_ e2 e1)))
+
+let prop_and_commutes =
+  QCheck.Test.make ~count ~name:"e₁‖e₂ ≡ e₂‖e₁"
+    (QCheck.triple arb_rse arb_rse arb_graph) (fun (e1, e2, g) ->
+      QCheck.assume (small_enough g);
+      Bool.equal
+        (Deriv.matches (node "n") g (Rse.and_ e1 e2))
+        (Deriv.matches (node "n") g (Rse.and_ e2 e1)))
+
+let prop_negation_involutive =
+  QCheck.Test.make ~count ~name:"¬¬e ≡ e under matching" arb_rse_graph
+    (fun (e, g) ->
+      QCheck.assume (small_enough g);
+      Bool.equal
+        (Deriv.matches (node "n") g e)
+        (Deriv.matches (node "n") g (Rse.not_ (Rse.not_ e))))
+
+let prop_negation_complements =
+  QCheck.Test.make ~count ~name:"¬e matches ⇔ e does not" arb_rse_graph
+    (fun (e, g) ->
+      QCheck.assume (small_enough g);
+      Bool.equal
+        (not (Deriv.matches (node "n") g e))
+        (Deriv.matches (node "n") g (Rse.not_ e)))
+
+let prop_sorbe_agrees =
+  QCheck.Test.make ~count:100 ~max_gen:10_000
+    ~name:"SORBE counting ≡ derivatives" arb_rse_graph (fun (e, g) ->
+      match Sorbe.of_rse e with
+      | None -> QCheck.assume_fail ()
+      | Some s ->
+          Bool.equal
+            (Deriv.matches (node "n") g e)
+            (Sorbe.matches (node "n") g s))
+
+let prop_repeat_counts =
+  (* e{m,n} over a single arc matches exactly the neighbourhoods with
+     between m and n matching triples. *)
+  QCheck.Test.make ~count
+    ~name:"repeat over one arc counts triples"
+    (QCheck.triple
+       (QCheck.make QCheck.Gen.(int_bound 3))
+       (QCheck.make QCheck.Gen.(int_bound 3))
+       (QCheck.make QCheck.Gen.(int_bound 3)))
+    (fun (m, extra, k) ->
+      let n = m + extra in
+      let e = Rse.repeat m (Some n) (arc_num "b" [ 1; 2; 3 ]) in
+      let g = graph_of (List.init k (fun j -> t3 "n" "b" (num (j + 1)))) in
+      Bool.equal (k >= m && k <= n) (Deriv.matches (node "n") g e))
+
+let prop_size_positive =
+  QCheck.Test.make ~count ~name:"size ≥ 1 and height ≤ size" arb_rse
+    (fun e -> Rse.size e >= 1 && Rse.height e <= Rse.size e)
+
+let prop_validate_engines_agree =
+  (* Schema validation with the derivative, backtracking and
+     auto-compiled engines agrees on random reference-free schemas. *)
+  QCheck.Test.make ~count:200 ~name:"validate engines agree"
+    arb_rse_graph (fun (e, g) ->
+      QCheck.assume (small_enough g);
+      let l = Label.of_string "S" in
+      let schema = Schema.make_exn [ (l, e) ] in
+      let verdict engine =
+        Validate.check_bool
+          (Validate.session ~engine schema g)
+          (node "n") l
+      in
+      let d = verdict Validate.Derivatives in
+      Bool.equal d (verdict Validate.Backtracking)
+      && Bool.equal d (verdict Validate.Auto))
+
+let prop_open_up_monotone =
+  (* Opening a shape only adds matches, never removes them. *)
+  QCheck.Test.make ~count ~name:"open_up is monotone" arb_rse_graph
+    (fun (e, g) ->
+      QCheck.assume (small_enough g);
+      QCheck.assume (not (Rse.has_not e));
+      (not (Deriv.matches (node "n") g e))
+      || Deriv.matches (node "n") g (Rse.open_up e))
+
+let prop_open_up_ignores_unmentioned =
+  (* An open shape's verdict is unchanged by triples with predicates
+     outside its vocabulary. *)
+  QCheck.Test.make ~count:200 ~name:"open_up ignores foreign predicates"
+    arb_rse_graph (fun (e, g) ->
+      QCheck.assume (small_enough g);
+      QCheck.assume (not (Rse.has_not e));
+      let open_e = Rse.open_up e in
+      let noisy =
+        Rdf.Graph.add (t3 "n" "zzz-foreign" (num 1)) g
+      in
+      Bool.equal
+        (Deriv.matches (node "n") g open_e)
+        (Deriv.matches (node "n") noisy open_e))
+
+let prop_turtle_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"turtle write/parse roundtrip"
+    arb_graph (fun g ->
+      match Turtle.Parse.parse_graph (Turtle.Write.to_string g) with
+      | Ok g' -> Rdf.Graph.equal g g'
+      | Error _ -> false)
+
+let prop_ntriples_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"n-triples roundtrip" arb_graph
+    (fun g ->
+      match Turtle.Ntriples.strict_parse (Turtle.Ntriples.to_string g) with
+      | Ok g' -> Rdf.Graph.equal g g'
+      | Error _ -> false)
+
+let prop_isomorphism_bnode_rename =
+  (* Renaming all blank-node labels preserves isomorphism. *)
+  QCheck.Test.make ~count:100 ~name:"isomorphic under bnode renaming"
+    (QCheck.pair arb_graph QCheck.small_nat) (fun (g, salt) ->
+      (* Swap some subjects for blank nodes deterministically. *)
+      let to_bnode prefix t =
+        match t with
+        | Rdf.Term.Iri iri
+          when Hashtbl.hash (Rdf.Iri.to_string iri) mod 2 = 0 ->
+            Rdf.Term.bnode
+              (prefix ^ string_of_int (Hashtbl.hash (Rdf.Iri.to_string iri)))
+        | t -> t
+      in
+      let rename prefix g =
+        Rdf.Graph.fold
+          (fun tr acc ->
+            match
+              Rdf.Triple.make_opt
+                (to_bnode prefix (Rdf.Triple.subject tr))
+                (Rdf.Triple.predicate tr)
+                (to_bnode prefix (Rdf.Triple.obj tr))
+            with
+            | Some tr' -> Rdf.Graph.add tr' acc
+            | None -> acc)
+          g Rdf.Graph.empty
+      in
+      ignore salt;
+      Rdf.Isomorphism.isomorphic (rename "x" g) (rename "y" g))
+
+let prop_canonical_agrees_with_renaming =
+  (* The canonical text is invariant under blank-node relabelling. *)
+  QCheck.Test.make ~count:60 ~name:"canonical text invariant under renaming"
+    arb_graph (fun g ->
+      let to_bnode prefix t =
+        match t with
+        | Rdf.Term.Iri iri
+          when Hashtbl.hash (Rdf.Iri.to_string iri) mod 2 = 0 ->
+            Rdf.Term.bnode
+              (prefix ^ string_of_int (Hashtbl.hash (Rdf.Iri.to_string iri)))
+        | t -> t
+      in
+      let rename prefix g =
+        Rdf.Graph.fold
+          (fun tr acc ->
+            match
+              Rdf.Triple.make_opt
+                (to_bnode prefix (Rdf.Triple.subject tr))
+                (Rdf.Triple.predicate tr)
+                (to_bnode prefix (Rdf.Triple.obj tr))
+            with
+            | Some tr' -> Rdf.Graph.add tr' acc
+            | None -> acc)
+          g Rdf.Graph.empty
+      in
+      String.equal
+        (Turtle.Canonical.to_string (rename "x" g))
+        (Turtle.Canonical.to_string (rename "ylonger" g)))
+
+let prop_skolem_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"skolemize/unskolemize roundtrip"
+    arb_graph (fun g ->
+      Rdf.Graph.equal g (Rdf.Skolem.unskolemize (Rdf.Skolem.skolemize g)))
+
+(* All neighbourhoods over the finite triple universe of up to
+   [max_card] triples — a complete decision procedure for semantic
+   equivalence of expressions over that universe. *)
+let all_neighbourhoods max_card =
+  let rec subsets = function
+    | [] -> [ [] ]
+    | t :: rest ->
+        let subs = subsets rest in
+        subs @ List.filter_map
+                 (fun s -> if List.length s < max_card then Some (t :: s) else None)
+                 subs
+  in
+  List.map Rdf.Graph.of_list (subsets all_triples)
+
+let semantically_equal e1 e2 =
+  List.for_all
+    (fun g ->
+      Bool.equal
+        (Deriv.matches (node "n") g e1)
+        (Deriv.matches (node "n") g e2))
+    (all_neighbourhoods 4)
+
+let prop_shexj_roundtrip =
+  (* Random (reference-free) schemas survive the JSON interchange up
+     to semantics.  Structural equality is too strong: the or-factoring
+     normalisation is not associative, so re-normalising on import can
+     factor subgroups differently (always semantics-preserving, which
+     is exactly what this property decides exhaustively over the
+     finite triple universe). *)
+  QCheck.Test.make ~count:60 ~name:"ShExJ roundtrip preserves semantics"
+    arb_rse (fun e ->
+      match Schema.make [ (Label.of_string "S", e) ] with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok schema -> (
+          match Shexc.Shexj.import (Shexc.Shexj.export schema) with
+          | Error _ -> false
+          | Ok schema' ->
+              semantically_equal
+                (Schema.find_exn schema (Label.of_string "S"))
+                (Schema.find_exn schema' (Label.of_string "S"))))
+
+let prop_shexj_verdict_preserved =
+  QCheck.Test.make ~count:100
+    ~name:"ShExJ roundtrip preserves verdicts" arb_rse_graph
+    (fun (e, g) ->
+      QCheck.assume (small_enough g);
+      match Schema.make [ (Label.of_string "S", e) ] with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok schema -> (
+          match Shexc.Shexj.import (Shexc.Shexj.export schema) with
+          | Error _ -> false
+          | Ok schema' ->
+              let l = Label.of_string "S" in
+              Bool.equal
+                (Validate.check_bool (Validate.session schema g) (node "n") l)
+                (Validate.check_bool (Validate.session schema' g) (node "n")
+                   l)))
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_deriv_equals_backtrack;
+      prop_deriv_equals_enumeration;
+      prop_order_independence;
+      prop_nullable_iff_matches_empty;
+      prop_raw_ctors_same_verdict;
+      prop_smart_never_bigger;
+      prop_deriv_not_nullable_after_epsilon;
+      prop_star_absorbs;
+      prop_or_commutes;
+      prop_and_commutes;
+      prop_negation_involutive;
+      prop_negation_complements;
+      prop_sorbe_agrees;
+      prop_repeat_counts;
+      prop_size_positive;
+      prop_validate_engines_agree;
+      prop_open_up_monotone;
+      prop_open_up_ignores_unmentioned;
+      prop_turtle_roundtrip;
+      prop_ntriples_roundtrip;
+      prop_isomorphism_bnode_rename;
+      prop_canonical_agrees_with_renaming;
+      prop_skolem_roundtrip;
+      prop_shexj_roundtrip;
+      prop_shexj_verdict_preserved ]
+
+let suites = [ ("properties", tests) ]

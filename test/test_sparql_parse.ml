@@ -1,0 +1,241 @@
+(* Tests for the SPARQL parser: grammar coverage, the paper's
+   Example 4 query text, and print→parse round-trips. *)
+
+open Util
+module A = Sparql.Ast
+module E = Sparql.Eval
+
+let parse src =
+  match Sparql.Parse.parse src with
+  | Ok q -> q
+  | Error msg -> Alcotest.fail msg
+
+let parse_err src =
+  match Sparql.Parse.parse src with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg -> msg
+
+let foaf l = Rdf.Iri.of_string_exn ("http://xmlns.com/foaf/0.1/" ^ l)
+
+let example2_graph =
+  graph_of
+    [ triple (node "john") (foaf "age") (num 23);
+      triple (node "john") (foaf "name") (Rdf.Term.str "John");
+      triple (node "john") (foaf "knows") (node "bob");
+      triple (node "bob") (foaf "age") (num 34);
+      triple (node "bob") (foaf "name") (Rdf.Term.str "Bob");
+      triple (node "bob") (foaf "name") (Rdf.Term.str "Robert");
+      triple (node "mary") (foaf "age") (num 50);
+      triple (node "mary") (foaf "age") (num 65) ]
+
+let run_bool q =
+  match E.run example2_graph q with
+  | `Boolean b -> b
+  | `Solutions _ -> Alcotest.fail "expected ASK"
+
+let run_count q =
+  match E.run example2_graph q with
+  | `Solutions sols -> List.length sols
+  | `Boolean _ -> Alcotest.fail "expected SELECT"
+
+let test_ask_simple () =
+  check_bool "true" true
+    (run_bool
+       (parse
+          "PREFIX ex: <http://example.org/>\n\
+           PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           ASK { ex:john foaf:age 23 }"));
+  check_bool "false" false
+    (run_bool
+       (parse
+          "PREFIX ex: <http://example.org/>\n\
+           PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           ASK { ex:john foaf:age 99 }"))
+
+let test_select_basic () =
+  check_int "4 age rows" 4
+    (run_count
+       (parse
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           SELECT ?s ?o { ?s foaf:age ?o }"))
+
+let test_semicolon_comma () =
+  check_int "bob by both" 1
+    (run_count
+       (parse
+          "PREFIX ex: <http://example.org/>\n\
+           PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           SELECT ?s { ?s foaf:age 34 ; foaf:name \"Bob\", \"Robert\" }"))
+
+let test_filter_expressions () =
+  check_int "ages over 30" 3
+    (run_count
+       (parse
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           SELECT ?s ?o { ?s foaf:age ?o FILTER (?o > 30) }"));
+  check_int "strings" 3
+    (run_count
+       (parse
+          "SELECT ?o { ?s ?p ?o FILTER (isLiteral(?o) && datatype(?o) = \
+           <http://www.w3.org/2001/XMLSchema#string>) }"));
+  (* objects that are IRIs (bob) or ≥ 60 (65) *)
+  check_int "iri or over 60" 2
+    (run_count
+       (parse
+          "SELECT ?o { ?s ?p ?o FILTER (isIRI(?o) || ?o >= 60) }"))
+
+let test_optional_bound () =
+  (* Subjects without foaf:knows, via the paper's !bound idiom. *)
+  check_int "bob and mary" 2
+    (run_count
+       (parse
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           SELECT ?s {\n\
+          \  { SELECT DISTINCT ?s { ?s ?p ?o } }\n\
+          \  OPTIONAL { ?s foaf:knows ?k }\n\
+          \  FILTER (!bound(?k))\n\
+           }"))
+
+let test_union () =
+  check_int "ages + knows" 5
+    (run_count
+       (parse
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           SELECT ?o { { ?s foaf:age ?o } UNION { ?s foaf:knows ?o } }"))
+
+let test_exists () =
+  check_int "knows-havers" 1
+    (run_count
+       (parse
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           SELECT ?s {\n\
+          \  { SELECT DISTINCT ?s { ?s ?p ?o } }\n\
+          \  FILTER EXISTS { ?s foaf:knows ?k }\n\
+           }"));
+  check_int "nameless" 1
+    (run_count
+       (parse
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           SELECT ?s {\n\
+          \  { SELECT DISTINCT ?s { ?s ?p ?o } }\n\
+          \  FILTER NOT EXISTS { ?s foaf:name ?n }\n\
+           }"))
+
+let test_subselect_count_having () =
+  check_int "bob has two names" 1
+    (run_count
+       (parse
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           SELECT ?s { { SELECT ?s (COUNT(*) AS ?c) { ?s foaf:name ?o }\n\
+           GROUP BY ?s HAVING (?c >= 2) } }"))
+
+let test_regex_and_str () =
+  check_int "example.org subjects" 3
+    (run_count
+       (parse
+          "SELECT ?s { { SELECT DISTINCT ?s { ?s ?p ?o } }\n\
+           FILTER regex(str(?s), \"^http://example.org/\") }"))
+
+let test_blank_node_as_variable () =
+  check_int "bnode joins" 4
+    (run_count
+       (parse
+          "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n\
+           SELECT ?o { _:x foaf:age ?o . _:x ?p ?o }"))
+
+let test_a_keyword () =
+  let g =
+    Rdf.Graph.add
+      (triple (node "john") Rdf.Namespace.Vocab.rdf_type (node "Human"))
+      example2_graph
+  in
+  let q =
+    parse
+      "PREFIX ex: <http://example.org/>\nSELECT ?s { ?s a ex:Human }"
+  in
+  match E.run g q with
+  | `Solutions sols -> check_int "one typed" 1 (List.length sols)
+  | `Boolean _ -> Alcotest.fail "expected SELECT"
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      check_bool src true (String.length (parse_err src) > 0))
+    [ "";
+      "SELECT ?s";
+      "ASK { ?s ?p }";
+      "SELECT ?s { ?s ?p ?o";
+      "ASK { ?s ?p ?o } trailing";
+      "SELECT ?s { ?s nope:p ?o }";
+      "SELECT ?s { FILTER bound(?s ?x) }";
+      "SELECT (SUM(?x) AS ?s) { ?a ?b ?x }" ]
+
+(* The paper's Example 4 query, as printed by our own Pp — the text of
+   a real nested SPARQL query with sub-SELECTs, GROUP BY, HAVING,
+   UNION, OPTIONAL and bound(). *)
+let test_roundtrip_example4 () =
+  let q = Sparql.Gen.example4_query () in
+  let text = Sparql.Pp.query_to_string q in
+  let q' = parse text in
+  check_bool "same verdict on Example 2" true
+    (Bool.equal (run_bool q) (run_bool q'));
+  let mary_only =
+    graph_of
+      [ triple (node "mary") (foaf "age") (num 50);
+        triple (node "mary") (foaf "age") (num 65) ]
+  in
+  let verdict g q =
+    match E.run g q with `Boolean b -> b | _ -> Alcotest.fail "ask"
+  in
+  check_bool "same verdict on mary-only" true
+    (Bool.equal (verdict mary_only q) (verdict mary_only q'))
+
+let test_roundtrip_generated () =
+  (* print → parse → evaluate agrees for a generated validation query. *)
+  let shape =
+    Shex.Rse.and_all
+      [ Shex.Rse.arc_v (Shex.Value_set.Pred (foaf "age"))
+          Shex.Value_set.xsd_integer;
+        Shex.Rse.plus
+          (Shex.Rse.arc_v (Shex.Value_set.Pred (foaf "name"))
+             Shex.Value_set.xsd_string) ]
+  in
+  match Sparql.Gen.of_shape shape with
+  | Error msg -> Alcotest.fail msg
+  | Ok sel ->
+      let text = Sparql.Pp.query_to_string (A.Select_q sel) in
+      let q' = parse text in
+      let nodes q =
+        match E.run example2_graph q with
+        | `Solutions sols ->
+            List.filter_map (fun mu -> E.Solution.find "X" mu) sols
+            |> List.sort_uniq Rdf.Term.compare
+        | `Boolean _ -> Alcotest.fail "expected select"
+      in
+      Alcotest.(check (list term))
+        "same nodes"
+        (nodes (A.Select_q sel))
+        (nodes q')
+
+let suites =
+  [ ( "sparql.parse",
+      [ Alcotest.test_case "ASK" `Quick test_ask_simple;
+        Alcotest.test_case "SELECT" `Quick test_select_basic;
+        Alcotest.test_case "; and , abbreviations" `Quick
+          test_semicolon_comma;
+        Alcotest.test_case "filter expressions" `Quick
+          test_filter_expressions;
+        Alcotest.test_case "OPTIONAL + bound" `Quick test_optional_bound;
+        Alcotest.test_case "UNION" `Quick test_union;
+        Alcotest.test_case "EXISTS / NOT EXISTS" `Quick test_exists;
+        Alcotest.test_case "subselect + COUNT + HAVING" `Quick
+          test_subselect_count_having;
+        Alcotest.test_case "regex(str())" `Quick test_regex_and_str;
+        Alcotest.test_case "blank nodes as variables" `Quick
+          test_blank_node_as_variable;
+        Alcotest.test_case "a keyword" `Quick test_a_keyword;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "roundtrip Example 4" `Quick
+          test_roundtrip_example4;
+        Alcotest.test_case "roundtrip generated query" `Quick
+          test_roundtrip_generated ] ) ]

@@ -1,0 +1,90 @@
+(* Data-driven conformance suite: reads test/suite/manifest.json and
+   runs each (schema, data, node, shape, expected-verdict) entry
+   end-to-end through the parsers and the validator. *)
+
+let suite_dir = "suite"
+
+let read_file path =
+  In_channel.with_open_bin (Filename.concat suite_dir path)
+    In_channel.input_all
+
+let schema_cache : (string, Shex.Schema.t) Hashtbl.t = Hashtbl.create 8
+let graph_cache : (string, Rdf.Graph.t) Hashtbl.t = Hashtbl.create 8
+
+let load_schema path =
+  match Hashtbl.find_opt schema_cache path with
+  | Some s -> s
+  | None ->
+      let s =
+        match Shexc.Shexc_parser.parse_schema (read_file path) with
+        | Ok s -> s
+        | Error msg -> Alcotest.fail (path ^ ": " ^ msg)
+      in
+      Hashtbl.replace schema_cache path s;
+      s
+
+let load_graph path =
+  match Hashtbl.find_opt graph_cache path with
+  | Some g -> g
+  | None ->
+      let g =
+        match Turtle.Parse.parse_graph (read_file path) with
+        | Ok g -> g
+        | Error msg -> Alcotest.fail (path ^ ": " ^ msg)
+      in
+      Hashtbl.replace graph_cache path g;
+      g
+
+let get_string field entry =
+  match Json.find_string field entry with
+  | Some s -> s
+  | None -> Alcotest.fail ("manifest entry missing " ^ field)
+
+let resolve_label schema name =
+  let exact = Shex.Label.of_string name in
+  if Shex.Schema.mem schema exact then exact
+  else
+    match
+      List.find_opt
+        (fun l ->
+          let s = Shex.Label.to_string l in
+          let n = String.length s and m = String.length name in
+          n >= m && String.sub s (n - m) m = name)
+        (Shex.Schema.labels schema)
+    with
+    | Some l -> l
+    | None -> Alcotest.fail ("unknown shape label " ^ name)
+
+let case_of_entry entry =
+  let name = get_string "name" entry in
+  let run () =
+    let schema = load_schema (get_string "schema" entry) in
+    let graph = load_graph (get_string "data" entry) in
+    let node = Rdf.Term.iri (get_string "node" entry) in
+    let label = resolve_label schema (get_string "shape" entry) in
+    let expected =
+      match get_string "expect" entry with
+      | "conformant" -> true
+      | "nonconformant" -> false
+      | other -> Alcotest.fail ("unknown expectation " ^ other)
+    in
+    let session = Shex.Validate.session schema graph in
+    Alcotest.(check bool) name expected
+      (Shex.Validate.check_bool session node label);
+    (* Both engines must agree on every suite entry. *)
+    let back =
+      Shex.Validate.session ~engine:Shex.Validate.Backtracking schema graph
+    in
+    Alcotest.(check bool) (name ^ " [backtracking]") expected
+      (Shex.Validate.check_bool back node label)
+  in
+  Alcotest.test_case name `Quick run
+
+let suites =
+  match Json.of_string (read_file "manifest.json") with
+  | Error msg -> failwith ("suite manifest: " ^ msg)
+  | Ok manifest -> (
+      match Json.find_list "tests" manifest with
+      | None -> failwith "suite manifest has no tests"
+      | Some entries ->
+          [ ("conformance-suite", List.map case_of_entry entries) ])

@@ -1,0 +1,169 @@
+(* Additional Turtle edge-case tests: tricky lexical forms, nesting,
+   and serializer behaviour. *)
+
+open Util
+
+let parse src =
+  match Turtle.Parse.parse_graph src with
+  | Ok g -> g
+  | Error msg -> Alcotest.fail msg
+
+let first_object g =
+  match Rdf.Graph.to_list g with
+  | tr :: _ -> Rdf.Triple.obj tr
+  | [] -> Alcotest.fail "empty graph"
+
+let literal_of g =
+  match first_object g with
+  | Rdf.Term.Literal l -> l
+  | _ -> Alcotest.fail "expected a literal object"
+
+let test_number_forms () =
+  let check_dt src dt lexical =
+    let l = literal_of (parse ("@prefix : <http://e.org/> . :x :p " ^ src ^ " .")) in
+    check_bool (src ^ " datatype") true
+      (Rdf.Iri.equal (Rdf.Literal.datatype l) (Rdf.Xsd.iri dt));
+    check_string (src ^ " lexical") lexical (Rdf.Literal.lexical l)
+  in
+  check_dt "0" Rdf.Xsd.Integer "0";
+  check_dt "+7" Rdf.Xsd.Integer "+7";
+  check_dt "-42" Rdf.Xsd.Integer "-42";
+  check_dt ".5" Rdf.Xsd.Decimal ".5";
+  check_dt "-0.5" Rdf.Xsd.Decimal "-0.5";
+  check_dt "1e0" Rdf.Xsd.Double "1e0";
+  check_dt "-2.5E-3" Rdf.Xsd.Double "-2.5E-3"
+
+let test_pname_with_dots () =
+  let g =
+    parse "@prefix ex: <http://e.org/> . ex:a.b ex:p.q ex:v ."
+  in
+  match Rdf.Graph.to_list g with
+  | [ tr ] ->
+      check_string "dotted local" "http://e.org/a.b"
+        (Rdf.Term.to_string (Rdf.Triple.subject tr)
+        |> fun s -> String.sub s 1 (String.length s - 2))
+  | _ -> Alcotest.fail "expected one triple"
+
+let test_statement_final_dot_vs_local_dot () =
+  (* The trailing dot after ex:v must terminate the statement, not be
+     part of the local name. *)
+  let g = parse "@prefix ex: <http://e.org/> . ex:a ex:p ex:v ." in
+  check_int "one triple" 1 (Rdf.Graph.cardinal g)
+
+let test_nested_bnode_property_lists () =
+  let g =
+    parse
+      "@prefix : <http://e.org/> .\n\
+       :x :p [ :q [ :r \"deep\" ] ; :s 1 ] ."
+  in
+  (* x→bnode1, bnode1→{q bnode2, s 1}, bnode2→{r "deep"} = 4 triples *)
+  check_int "four triples" 4 (Rdf.Graph.cardinal g)
+
+let test_nested_collections () =
+  let g = parse "@prefix : <http://e.org/> . :x :l ((1) (2 3)) ." in
+  (* Outer list: 2 cells (4 triples) + arc = 5; inner lists: 1 cell + 2
+     cells = 3 cells → 6 triples. Total 11. *)
+  check_int "eleven triples" 11 (Rdf.Graph.cardinal g)
+
+let test_collection_of_bnodes () =
+  let g =
+    parse "@prefix : <http://e.org/> . :x :l ( [ :a 1 ] [ :a 2 ] ) ."
+  in
+  (* 2 cells × 2 + arc... the arc is part of cells: cells give 4, the
+     :l arc 1, the two bnode property lists 2 → 7. *)
+  check_int "seven triples" 7 (Rdf.Graph.cardinal g)
+
+let test_escaped_local_names () =
+  let g =
+    parse "@prefix ex: <http://e.org/> . ex:with\\~tilde ex:p ex:v ."
+  in
+  check_int "parsed" 1 (Rdf.Graph.cardinal g)
+
+let test_single_quoted_strings () =
+  let l =
+    literal_of (parse "@prefix : <http://e.org/> . :x :p 'single' .")
+  in
+  check_string "single quotes" "single" (Rdf.Literal.lexical l)
+
+let test_long_single_quoted () =
+  let l =
+    literal_of
+      (parse "@prefix : <http://e.org/> . :x :p '''line1\nline2''' .")
+  in
+  check_string "long single" "line1\nline2" (Rdf.Literal.lexical l)
+
+let test_crlf_handling () =
+  let g =
+    parse "@prefix : <http://e.org/> .\r\n:x :p 1 .\r\n:y :p 2 .\r\n"
+  in
+  check_int "two triples" 2 (Rdf.Graph.cardinal g)
+
+let test_empty_document () =
+  check_int "empty" 0 (Rdf.Graph.cardinal (parse ""));
+  check_int "comments only" 0 (Rdf.Graph.cardinal (parse "# nothing\n"))
+
+let test_base_changes_midstream () =
+  let g =
+    parse
+      "@base <http://one.org/> . <a> <p> <b> .\n\
+       @base <http://two.org/> . <a> <p> <b> ."
+  in
+  check_int "distinct after rebase" 2 (Rdf.Graph.cardinal g)
+
+let test_writer_escapes_roundtrip () =
+  let tricky = "quote\" backslash\\ newline\n tab\t" in
+  let g =
+    Rdf.Graph.of_list
+      [ Rdf.Triple.make (node "x") (ex "p") (Rdf.Term.str tricky) ]
+  in
+  let g' = parse (Turtle.Write.to_string g) in
+  Alcotest.check graph "roundtrip" g g'
+
+let test_writer_groups_subjects () =
+  let g =
+    graph_of
+      [ t3 "s" "p1" (num 1); t3 "s" "p1" (num 2); t3 "s" "p2" (num 3) ]
+  in
+  let text = Turtle.Write.to_string g in
+  (* One subject → the subject IRI appears exactly once. *)
+  let occurrences needle hay =
+    let n = String.length hay and m = String.length needle in
+    let rec go i acc =
+      if i + m > n then acc
+      else if String.sub hay i m = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  (* The writer shrinks to prefixed names (the empty prefix is bound
+     to http://example.org/ by default). *)
+  check_int "subject written once" 1 (occurrences ":s " text);
+  check_bool "object list with comma" true (occurrences ", " text >= 1);
+  check_bool "predicate list with semicolon" true (occurrences ";" text >= 1)
+
+let suites =
+  [ ( "turtle.extra",
+      [ Alcotest.test_case "number forms" `Quick test_number_forms;
+        Alcotest.test_case "dotted pnames" `Quick test_pname_with_dots;
+        Alcotest.test_case "statement-final dot" `Quick
+          test_statement_final_dot_vs_local_dot;
+        Alcotest.test_case "nested property lists" `Quick
+          test_nested_bnode_property_lists;
+        Alcotest.test_case "nested collections" `Quick
+          test_nested_collections;
+        Alcotest.test_case "collections of bnodes" `Quick
+          test_collection_of_bnodes;
+        Alcotest.test_case "escaped local names" `Quick
+          test_escaped_local_names;
+        Alcotest.test_case "single-quoted strings" `Quick
+          test_single_quoted_strings;
+        Alcotest.test_case "long single-quoted" `Quick
+          test_long_single_quoted;
+        Alcotest.test_case "CRLF" `Quick test_crlf_handling;
+        Alcotest.test_case "empty document" `Quick test_empty_document;
+        Alcotest.test_case "base changes midstream" `Quick
+          test_base_changes_midstream;
+        Alcotest.test_case "writer escapes" `Quick
+          test_writer_escapes_roundtrip;
+        Alcotest.test_case "writer grouping" `Quick
+          test_writer_groups_subjects ] ) ]

@@ -1,0 +1,302 @@
+(* Tests for schemas and the §8 type inference algorithm, reproducing
+   Examples 1–2 and 13–14 and exercising recursion. *)
+
+open Util
+open Shex
+
+let label = Label.of_string
+let foaf l = Rdf.Iri.of_string_exn ("http://xmlns.com/foaf/0.1/" ^ l)
+
+(* The Person schema of Examples 1 and 14:
+   person ↦ foaf:age→xsd:int ‖ (foaf:name→xsd:string)+ ‖ (foaf:knows→@person)* *)
+let person = label "Person"
+
+let person_schema =
+  Schema.make_exn
+    [ ( person,
+        Rse.and_all
+          [ Rse.arc_v (Value_set.Pred (foaf "age")) Value_set.xsd_integer;
+            Rse.plus
+              (Rse.arc_v (Value_set.Pred (foaf "name")) Value_set.xsd_string);
+            Rse.star (Rse.arc_ref (Value_set.Pred (foaf "knows")) person) ]
+      ) ]
+
+(* Example 2's graph. *)
+let example2_graph =
+  graph_of
+    [ triple (node "john") (foaf "age") (num 23);
+      triple (node "john") (foaf "name") (Rdf.Term.str "John");
+      triple (node "john") (foaf "knows") (node "bob");
+      triple (node "bob") (foaf "age") (num 34);
+      triple (node "bob") (foaf "name") (Rdf.Term.str "Bob");
+      triple (node "bob") (foaf "name") (Rdf.Term.str "Robert");
+      triple (node "mary") (foaf "age") (num 50);
+      triple (node "mary") (foaf "age") (num 65) ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_build () =
+  check_int "one label" 1 (List.length (Schema.labels person_schema));
+  check_bool "find" true (Schema.find person_schema person <> None);
+  check_bool "find missing" true
+    (Schema.find person_schema (label "Nope") = None)
+
+let test_schema_duplicate () =
+  check_bool "duplicate rejected" true
+    (Result.is_error
+       (Schema.make [ (person, Rse.epsilon); (person, Rse.empty) ]))
+
+let test_schema_undefined_ref () =
+  check_bool "dangling ref rejected" true
+    (Result.is_error
+       (Schema.make
+          [ ( person,
+              Rse.arc_ref (Value_set.Pred (foaf "knows")) (label "Ghost") )
+          ]))
+
+let test_schema_recursion_detection () =
+  check_bool "Person is recursive" true
+    (Schema.is_recursive person_schema person);
+  let flat =
+    Schema.make_exn [ (label "T", arc_num "a" [ 1 ]) ]
+  in
+  check_bool "flat is not" false (Schema.is_recursive flat (label "T"))
+
+let test_schema_dependencies () =
+  let a = label "A" and b = label "B" and c = label "C" in
+  let s =
+    Schema.make_exn
+      [ (a, Rse.arc_ref (Value_set.Pred (ex "p")) b);
+        (b, Rse.arc_ref (Value_set.Pred (ex "p")) c);
+        (c, Rse.epsilon) ]
+  in
+  check_int "A reaches 3" 3 (Label.Set.cardinal (Schema.dependencies s a));
+  check_int "C reaches 1" 1 (Label.Set.cardinal (Schema.dependencies s c))
+
+(* ------------------------------------------------------------------ *)
+(* Example 2: john and bob are Persons, mary is not                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_example2 () =
+  let session = Validate.session person_schema example2_graph in
+  check_bool "john" true (Validate.check_bool session (node "john") person);
+  check_bool "bob" true (Validate.check_bool session (node "bob") person);
+  check_bool "mary" false (Validate.check_bool session (node "mary") person)
+
+let test_example2_backtracking_engine () =
+  let session =
+    Validate.session ~engine:Validate.Backtracking person_schema
+      example2_graph
+  in
+  check_bool "john" true (Validate.check_bool session (node "john") person);
+  check_bool "mary" false (Validate.check_bool session (node "mary") person)
+
+let test_example2_auto_engine () =
+  (* The Person shape is single-occurrence, so Auto runs the counting
+     matcher — same verdicts, including through the recursion. *)
+  let session =
+    Validate.session ~engine:Validate.Auto person_schema example2_graph
+  in
+  check_bool "john" true (Validate.check_bool session (node "john") person);
+  check_bool "bob" true (Validate.check_bool session (node "bob") person);
+  check_bool "mary" false (Validate.check_bool session (node "mary") person)
+
+let test_example2_typing () =
+  let session = Validate.session person_schema example2_graph in
+  let outcome = Validate.check session (node "john") person in
+  check_bool "ok" true outcome.Validate.ok;
+  (* Checking john also certifies bob (through foaf:knows). *)
+  check_bool "john typed" true
+    (Typing.mem (node "john") person outcome.Validate.typing);
+  check_bool "bob typed" true
+    (Typing.mem (node "bob") person outcome.Validate.typing);
+  check_bool "mary not typed" false
+    (Typing.mem (node "mary") person outcome.Validate.typing)
+
+let test_validate_graph () =
+  let session = Validate.session person_schema example2_graph in
+  let typing = Validate.validate_graph session in
+  check_bool "john" true (Typing.mem (node "john") person typing);
+  check_bool "bob" true (Typing.mem (node "bob") person typing);
+  check_bool "mary" false (Typing.mem (node "mary") person typing)
+
+let test_failure_reason () =
+  let session = Validate.session person_schema example2_graph in
+  let outcome = Validate.check session (node "mary") person in
+  check_bool "failed" false outcome.Validate.ok;
+  check_bool "has reason" true (outcome.Validate.reason <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Recursion                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A cycle: john knows bob, bob knows john — both must validate
+   coinductively. *)
+let test_recursive_cycle () =
+  let g =
+    graph_of
+      [ triple (node "john") (foaf "age") (num 23);
+        triple (node "john") (foaf "name") (Rdf.Term.str "John");
+        triple (node "john") (foaf "knows") (node "bob");
+        triple (node "bob") (foaf "age") (num 34);
+        triple (node "bob") (foaf "name") (Rdf.Term.str "Bob");
+        triple (node "bob") (foaf "knows") (node "john") ]
+  in
+  let session = Validate.session person_schema g in
+  check_bool "john in cycle" true
+    (Validate.check_bool session (node "john") person);
+  check_bool "bob in cycle" true
+    (Validate.check_bool session (node "bob") person)
+
+(* Self-loop: alice knows herself. *)
+let test_self_loop () =
+  let g =
+    graph_of
+      [ triple (node "alice") (foaf "age") (num 30);
+        triple (node "alice") (foaf "name") (Rdf.Term.str "Alice");
+        triple (node "alice") (foaf "knows") (node "alice") ]
+  in
+  let session = Validate.session person_schema g in
+  check_bool "self-knowing person" true
+    (Validate.check_bool session (node "alice") person)
+
+(* Recursion must not leak: if the referenced node is invalid, the
+   referring node fails too. *)
+let test_invalid_neighbour_propagates () =
+  let g =
+    graph_of
+      [ triple (node "john") (foaf "age") (num 23);
+        triple (node "john") (foaf "name") (Rdf.Term.str "John");
+        triple (node "john") (foaf "knows") (node "mary");
+        (* mary has no name → not a Person *)
+        triple (node "mary") (foaf "age") (num 50) ]
+  in
+  let session = Validate.session person_schema g in
+  check_bool "mary invalid" false
+    (Validate.check_bool session (node "mary") person);
+  check_bool "john fails through mary" false
+    (Validate.check_bool session (node "john") person)
+
+(* Example 13: p ↦ a→1 ‖ (b→{1,2})+ ‖ (c→@p)* *)
+let test_example13 () =
+  let p = label "p" in
+  let schema =
+    Schema.make_exn
+      [ ( p,
+          Rse.and_all
+            [ arc_num "a" [ 1 ];
+              Rse.plus (arc_num "b" [ 1; 2 ]);
+              Rse.star (Rse.arc_ref (Value_set.Pred (ex "c")) p) ] ) ]
+  in
+  let g =
+    graph_of
+      [ t3 "x" "a" (num 1); t3 "x" "b" (num 1); t3 "x" "c" (node "y");
+        t3 "y" "a" (num 1); t3 "y" "b" (num 2) ]
+  in
+  let session = Validate.session schema g in
+  check_bool "x has shape p" true (Validate.check_bool session (node "x") p);
+  check_bool "y has shape p" true (Validate.check_bool session (node "y") p);
+  (* Break y: its b-value out of range. *)
+  let g_bad =
+    graph_of
+      [ t3 "x" "a" (num 1); t3 "x" "b" (num 1); t3 "x" "c" (node "y");
+        t3 "y" "a" (num 1); t3 "y" "b" (num 7) ]
+  in
+  let session = Validate.session schema g_bad in
+  check_bool "bad y" false (Validate.check_bool session (node "y") p);
+  check_bool "x fails through y" false
+    (Validate.check_bool session (node "x") p)
+
+(* Mutual recursion between two labels. *)
+let test_mutual_recursion () =
+  let parent = label "Parent" and child = label "Child" in
+  let schema =
+    Schema.make_exn
+      [ ( parent,
+          Rse.plus (Rse.arc_ref (Value_set.Pred (ex "hasChild")) child) );
+        ( child,
+          Rse.arc_ref (Value_set.Pred (ex "hasParent")) parent ) ]
+  in
+  let g =
+    graph_of
+      [ t3 "p0" "hasChild" (node "c0"); t3 "c0" "hasParent" (node "p0") ]
+  in
+  let session = Validate.session schema g in
+  check_bool "parent" true (Validate.check_bool session (node "p0") parent);
+  check_bool "child" true (Validate.check_bool session (node "c0") child)
+
+(* Memoisation: a hub node referenced many times is only checked once;
+   verdicts stay correct. *)
+let test_memoisation_consistency () =
+  let g =
+    List.fold_left
+      (fun g k ->
+        let who = "fan" ^ string_of_int k in
+        g
+        |> Rdf.Graph.add (triple (node who) (foaf "age") (num 20))
+        |> Rdf.Graph.add (triple (node who) (foaf "name") (Rdf.Term.str who))
+        |> Rdf.Graph.add (triple (node who) (foaf "knows") (node "hub")))
+      (graph_of
+         [ triple (node "hub") (foaf "age") (num 99);
+           triple (node "hub") (foaf "name") (Rdf.Term.str "Hub") ])
+      (List.init 20 Fun.id)
+  in
+  let session = Validate.session person_schema g in
+  let typing = Validate.validate_graph session in
+  check_int "all 21 persons" 21 (Typing.cardinal typing)
+
+let test_missing_label () =
+  let session = Validate.session person_schema example2_graph in
+  let outcome = Validate.check session (node "john") (label "Ghost") in
+  check_bool "missing label fails" false outcome.Validate.ok;
+  check_bool "reason" true (outcome.Validate.reason <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Typing operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_typing_ops () =
+  let t1 = Typing.singleton (node "a") person in
+  let t2 = Typing.add (node "a") (label "Other") Typing.empty in
+  let t = Typing.combine t1 t2 in
+  check_int "two labels on a" 2 (Typing.cardinal t);
+  check_bool "mem" true (Typing.mem (node "a") person t);
+  check_int "one node" 1 (List.length (Typing.nodes t));
+  check_bool "empty" true (Typing.is_empty Typing.empty);
+  check_int "to_list" 2 (List.length (Typing.to_list t));
+  Alcotest.check typing "combine idempotent" t (Typing.combine t t)
+
+let suites =
+  [ ( "schema",
+      [ Alcotest.test_case "build and lookup" `Quick test_schema_build;
+        Alcotest.test_case "duplicate labels" `Quick test_schema_duplicate;
+        Alcotest.test_case "undefined references" `Quick
+          test_schema_undefined_ref;
+        Alcotest.test_case "recursion detection" `Quick
+          test_schema_recursion_detection;
+        Alcotest.test_case "dependencies" `Quick test_schema_dependencies ]
+    );
+    ( "validate.example2",
+      [ Alcotest.test_case "john/bob yes, mary no" `Quick test_example2;
+        Alcotest.test_case "backtracking engine agrees" `Quick
+          test_example2_backtracking_engine;
+        Alcotest.test_case "auto engine agrees" `Quick
+          test_example2_auto_engine;
+        Alcotest.test_case "typing includes neighbours" `Quick
+          test_example2_typing;
+        Alcotest.test_case "validate_graph" `Quick test_validate_graph;
+        Alcotest.test_case "failure reasons" `Quick test_failure_reason ] );
+    ( "validate.recursion",
+      [ Alcotest.test_case "two-node cycle" `Quick test_recursive_cycle;
+        Alcotest.test_case "self-loop" `Quick test_self_loop;
+        Alcotest.test_case "invalid neighbour propagates" `Quick
+          test_invalid_neighbour_propagates;
+        Alcotest.test_case "Example 13" `Quick test_example13;
+        Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+        Alcotest.test_case "memoised hub" `Quick
+          test_memoisation_consistency;
+        Alcotest.test_case "missing label" `Quick test_missing_label ] );
+    ( "validate.typing",
+      [ Alcotest.test_case "typing operations" `Quick test_typing_ops ] ) ]

@@ -1,0 +1,161 @@
+(* Direct unit tests for predicate and object value sets. *)
+
+open Util
+open Shex
+
+let p name = ex name
+
+let test_pred_membership () =
+  check_bool "singleton" true
+    (Value_set.pred_mem (Value_set.Pred (p "a")) (p "a"));
+  check_bool "singleton miss" false
+    (Value_set.pred_mem (Value_set.Pred (p "a")) (p "b"));
+  check_bool "enumeration" true
+    (Value_set.pred_mem (Value_set.Pred_in [ p "a"; p "b" ]) (p "b"));
+  check_bool "stem" true
+    (Value_set.pred_mem
+       (Value_set.Pred_stem "http://example.org/")
+       (p "anything"));
+  check_bool "stem miss" false
+    (Value_set.pred_mem
+       (Value_set.Pred_stem "http://other.org/")
+       (p "x"));
+  check_bool "any" true (Value_set.pred_mem Value_set.Pred_any (p "z"))
+
+let test_pred_complement () =
+  let compl =
+    Value_set.Pred_compl [ Value_set.Pred (p "a"); Value_set.Pred (p "b") ]
+  in
+  check_bool "excluded" false (Value_set.pred_mem compl (p "a"));
+  check_bool "included" true (Value_set.pred_mem compl (p "z"));
+  let nested = Value_set.Pred_compl [ compl ] in
+  check_bool "double complement excluded" false
+    (Value_set.pred_mem nested (p "z"));
+  check_bool "double complement included" true
+    (Value_set.pred_mem nested (p "a"))
+
+let test_pred_disjoint () =
+  check_bool "distinct singletons" true
+    (Value_set.pred_disjoint (Value_set.Pred (p "a")) (Value_set.Pred (p "b")));
+  check_bool "same singleton" false
+    (Value_set.pred_disjoint (Value_set.Pred (p "a")) (Value_set.Pred (p "a")));
+  check_bool "overlapping enums" false
+    (Value_set.pred_disjoint
+       (Value_set.Pred_in [ p "a"; p "b" ])
+       (Value_set.Pred_in [ p "b"; p "c" ]));
+  check_bool "disjoint stems" true
+    (Value_set.pred_disjoint
+       (Value_set.Pred_stem "http://a.org/")
+       (Value_set.Pred_stem "http://b.org/"));
+  check_bool "nested stems overlap" false
+    (Value_set.pred_disjoint
+       (Value_set.Pred_stem "http://a.org/")
+       (Value_set.Pred_stem "http://a.org/sub/"));
+  check_bool "any overlaps" false
+    (Value_set.pred_disjoint Value_set.Pred_any (Value_set.Pred (p "a")));
+  (* a complement is disjoint from what it excludes *)
+  check_bool "complement vs excluded" true
+    (Value_set.pred_disjoint
+       (Value_set.Pred_compl [ Value_set.Pred (p "a") ])
+       (Value_set.Pred (p "a")));
+  check_bool "complement vs other" false
+    (Value_set.pred_disjoint
+       (Value_set.Pred_compl [ Value_set.Pred (p "a") ])
+       (Value_set.Pred (p "b")))
+
+let test_obj_membership () =
+  check_bool "any" true (Value_set.obj_mem Value_set.Obj_any (num 1));
+  check_bool "value set hit" true
+    (Value_set.obj_mem (Value_set.obj_terms [ num 1; num 2 ]) (num 2));
+  check_bool "value set miss" false
+    (Value_set.obj_mem (Value_set.obj_terms [ num 1 ]) (num 2));
+  check_bool "datatype" true
+    (Value_set.obj_mem Value_set.xsd_integer (num 3));
+  check_bool "datatype rejects malformed" false
+    (Value_set.obj_mem Value_set.xsd_integer
+       (Rdf.Term.Literal (Rdf.Literal.typed Rdf.Xsd.Integer "nope")));
+  check_bool "datatype rejects iri" false
+    (Value_set.obj_mem Value_set.xsd_integer (node "x"));
+  check_bool "opaque datatype" true
+    (Value_set.obj_mem
+       (Value_set.Obj_datatype_iri (ex "custom"))
+       (Rdf.Term.Literal
+          (Rdf.Literal.make ~datatype:(ex "custom") "anything")))
+
+let test_obj_kinds () =
+  let mem k t = Value_set.obj_mem (Value_set.Obj_kind k) t in
+  check_bool "iri kind" true (mem Value_set.Iri_kind (node "x"));
+  check_bool "bnode kind" true
+    (mem Value_set.Bnode_kind (Rdf.Term.bnode "b"));
+  check_bool "literal kind" true (mem Value_set.Literal_kind (num 1));
+  check_bool "nonliteral iri" true
+    (mem Value_set.Non_literal_kind (node "x"));
+  check_bool "nonliteral bnode" true
+    (mem Value_set.Non_literal_kind (Rdf.Term.bnode "b"));
+  check_bool "nonliteral literal" false
+    (mem Value_set.Non_literal_kind (num 1))
+
+let test_obj_stems_and_combinators () =
+  check_bool "stem hit" true
+    (Value_set.obj_mem
+       (Value_set.Obj_stem "http://example.org/people/")
+       (iri "http://example.org/people/p7"));
+  check_bool "stem miss" false
+    (Value_set.obj_mem
+       (Value_set.Obj_stem "http://example.org/people/")
+       (iri "http://example.org/places/x"));
+  check_bool "stem rejects literal" false
+    (Value_set.obj_mem (Value_set.Obj_stem "http://") (num 1));
+  let either =
+    Value_set.Obj_or [ Value_set.xsd_integer; Value_set.xsd_string ]
+  in
+  check_bool "or left" true (Value_set.obj_mem either (num 1));
+  check_bool "or right" true
+    (Value_set.obj_mem either (Rdf.Term.str "x"));
+  check_bool "or miss" false
+    (Value_set.obj_mem either (Rdf.Term.Literal (Rdf.Literal.boolean true)));
+  check_bool "not" true
+    (Value_set.obj_mem (Value_set.Obj_not Value_set.xsd_integer)
+       (Rdf.Term.str "x"));
+  check_bool "not excluded" false
+    (Value_set.obj_mem (Value_set.Obj_not Value_set.xsd_integer) (num 1))
+
+let test_equality () =
+  check_bool "pred refl" true
+    (Value_set.pred_equal (Value_set.Pred (p "a")) (Value_set.Pred (p "a")));
+  check_bool "pred diff" false
+    (Value_set.pred_equal (Value_set.Pred (p "a")) Value_set.Pred_any);
+  check_bool "obj refl" true
+    (Value_set.obj_equal
+       (Value_set.obj_terms [ num 1 ])
+       (Value_set.obj_terms [ num 1 ]));
+  check_bool "obj order matters" false
+    (Value_set.obj_equal
+       (Value_set.obj_terms [ num 1; num 2 ])
+       (Value_set.obj_terms [ num 2; num 1 ]))
+
+let test_pp () =
+  let show_pred p = Format.asprintf "%a" Value_set.pp_pred p in
+  let show_obj o = Format.asprintf "%a" Value_set.pp_obj o in
+  check_bool "pred any" true (show_pred Value_set.Pred_any = ".");
+  check_bool "obj kind" true
+    (show_obj (Value_set.Obj_kind Value_set.Iri_kind) = "IRI");
+  check_bool "datatype prints xsd name" true
+    (show_obj Value_set.xsd_integer = "xsd:integer");
+  check_bool "complement prints" true
+    (String.length (show_pred (Value_set.Pred_compl [ Value_set.Pred (p "a") ])) > 0)
+
+let suites =
+  [ ( "value_set",
+      [ Alcotest.test_case "predicate membership" `Quick
+          test_pred_membership;
+        Alcotest.test_case "predicate complement" `Quick
+          test_pred_complement;
+        Alcotest.test_case "predicate disjointness" `Quick
+          test_pred_disjoint;
+        Alcotest.test_case "object membership" `Quick test_obj_membership;
+        Alcotest.test_case "node kinds" `Quick test_obj_kinds;
+        Alcotest.test_case "stems and combinators" `Quick
+          test_obj_stems_and_combinators;
+        Alcotest.test_case "equality" `Quick test_equality;
+        Alcotest.test_case "printing" `Quick test_pp ] ) ]

@@ -1,0 +1,48 @@
+(* Shared helpers for the test suites: compact constructors for the
+   paper's example graphs and expressions. *)
+
+let iri = Rdf.Term.iri
+let i s = Rdf.Iri.of_string_exn s
+
+(* The paper's abstract examples use bare names (n, a, b) and numbers
+   (1, 2); we map names into the ex: namespace and numbers to
+   xsd:integer literals. *)
+let ex name = Rdf.Iri.of_string_exn ("http://example.org/" ^ name)
+let node name = Rdf.Term.Iri (ex name)
+let num k = Rdf.Term.int k
+let triple s p o = Rdf.Triple.make s p o
+let t3 s p o = triple (node s) (ex p) o
+
+let graph_of triples = Rdf.Graph.of_list triples
+
+(* Arc vp → vo with singleton predicate and finite values. *)
+let arc_num p values =
+  Shex.Rse.arc_v (Shex.Value_set.Pred (ex p))
+    (Shex.Value_set.obj_terms (List.map num values))
+
+(* Example 5: a→1 ‖ (b→{1,2})* *)
+let example5 =
+  Shex.Rse.and_ (arc_num "a" [ 1 ]) (Shex.Rse.star (arc_num "b" [ 1; 2 ]))
+
+(* Example 10: (a→{1,2} ‖ b→{1,2})*.  The paper's PDF prints "|", but
+   the stated meaning (same number of a-arcs and b-arcs) and the stated
+   derivative (b→{1,2} ‖ e) only hold for ‖. *)
+let example10 =
+  Shex.Rse.star (Shex.Rse.and_ (arc_num "a" [ 1; 2 ]) (arc_num "b" [ 1; 2 ]))
+
+(* Σgn of Example 8: {⟨n,a,1⟩, ⟨n,b,1⟩, ⟨n,b,2⟩} *)
+let example8_graph =
+  graph_of [ t3 "n" "a" (num 1); t3 "n" "b" (num 1); t3 "n" "b" (num 2) ]
+
+(* Example 12's graph: {⟨n,a,1⟩, ⟨n,a,2⟩, ⟨n,b,1⟩} *)
+let example12_graph =
+  graph_of [ t3 "n" "a" (num 1); t3 "n" "a" (num 2); t3 "n" "b" (num 1) ]
+
+let rse = Alcotest.testable Shex.Rse.pp Shex.Rse.equal
+let term = Alcotest.testable Rdf.Term.pp Rdf.Term.equal
+let graph = Alcotest.testable Rdf.Graph.pp Rdf.Graph.equal
+let typing = Alcotest.testable Shex.Typing.pp Shex.Typing.equal
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
