@@ -11,15 +11,20 @@
 
 open Cmdliner
 
+(* Link-time side effect: registers the compiled-DFA backend with
+   Shex.Validate, enabling --engine compiled / auto's DFA fallback. *)
+let () = Shex_automaton.Engine.install ()
+
 let read_file path =
   In_channel.with_open_bin path In_channel.input_all
 
-type engine_choice = Deriv | Back | AutoE
+type engine_choice = Deriv | Back | AutoE | CompiledE
 
 let engine_of_choice = function
   | Deriv -> Shex.Validate.Derivatives
   | Back -> Shex.Validate.Backtracking
   | AutoE -> Shex.Validate.Auto
+  | CompiledE -> Shex.Validate.Compiled
 
 let load_schema path =
   let src = read_file path in
@@ -74,6 +79,22 @@ let print_trace session schema graph node label =
   in
   Format.printf "%a@." Shex.Deriv.pp_trace trace
 
+let print_engine_stats session =
+  match Shex.Validate.compiled_stats session with
+  | None ->
+      prerr_endline
+        "engine cache: no compiled backend in use (see --engine)"
+  | Some s ->
+      let open Shex.Validate in
+      let steps = s.hits + s.misses in
+      Printf.eprintf
+        "engine cache: %d atoms, %d states, %d symbols, %d steps (%d hits, \
+         %d misses, %.1f%% cached)\n\
+         %!"
+        s.atoms s.states s.symbols steps s.hits s.misses
+        (if steps = 0 then 0.0
+         else 100.0 *. float_of_int s.hits /. float_of_int steps)
+
 let emit_report report ~json ~result_map ~quiet =
   if json then
     print_endline (Json.to_string (Shex.Report.to_json report))
@@ -107,7 +128,7 @@ let infer_cmd data_path label_name nodes_text =
       exit 2
 
 let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
-    engine trace show_sparql export_shexj json result_map quiet
+    engine engine_stats trace show_sparql export_shexj json result_map quiet
     infer_nodes infer_label =
   (match infer_nodes with
   | Some nodes_text -> infer_cmd data_path infer_label nodes_text
@@ -140,6 +161,7 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
   let session =
     Shex.Validate.session ~engine:(engine_of_choice engine) schema graph
   in
+  let maybe_stats () = if engine_stats then print_engine_stats session in
   match (shape_map_opt, node_opt, shape_opt) with
   | Some shape_map_text, None, None -> (
       match Shex.Shape_map.parse shape_map_text with
@@ -148,6 +170,7 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
           exit 2
       | Ok shape_map ->
           let report = Shex.Report.run_shape_map session shape_map graph in
+          maybe_stats ();
           emit_report report ~json ~result_map ~quiet)
   | Some _, _, _ ->
       Printf.eprintf "--shape-map cannot be combined with --node/--shape\n";
@@ -157,6 +180,7 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
       let node = Rdf.Term.iri node_iri in
       let report = Shex.Report.run session [ (node, label) ] in
       if trace then print_trace session schema graph node label;
+      maybe_stats ();
       emit_report report ~json ~result_map ~quiet
   | None, None, None ->
       (* Whole-graph mode: every node against every shape. *)
@@ -167,6 +191,7 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
           (Rdf.Graph.nodes graph)
       in
       let report = Shex.Report.run session associations in
+      maybe_stats ();
       if json then begin
         print_endline (Json.to_string (Shex.Report.to_json report));
         exit 0
@@ -237,7 +262,8 @@ let shape_map_arg =
 
 let engine_arg =
   let choices =
-    [ ("derivatives", Deriv); ("backtracking", Back); ("auto", AutoE) ]
+    [ ("derivatives", Deriv); ("backtracking", Back); ("auto", AutoE);
+      ("compiled", CompiledE) ]
   in
   Arg.(
     value
@@ -245,8 +271,20 @@ let engine_arg =
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "Matching engine: $(b,derivatives) (the paper's algorithm, \
-           default) or $(b,backtracking) (the Fig. 1 baseline — \
-           exponential, small inputs only).")
+           default), $(b,backtracking) (the Fig. 1 baseline — \
+           exponential, small inputs only), $(b,compiled) (hash-consed \
+           lazy derivative automata — compile each shape once, validate \
+           by table lookup) or $(b,auto) (counting matcher for \
+           single-occurrence shapes, compiled automata otherwise).")
+
+let engine_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "engine-stats" ]
+        ~doc:
+          "After validating, print the compiled engine's cache counters \
+           (states, arc-class symbols, transition hits/misses) on stderr.  \
+           Only meaningful with $(b,--engine) $(b,compiled) or $(b,auto).")
 
 let trace_arg =
   Arg.(
@@ -300,8 +338,8 @@ let cmd =
     (Cmd.info "shex-validate" ~doc ~man)
     Term.(
       const validate_cmd $ schema_arg $ data_arg $ node_arg $ shape_arg
-      $ shape_map_arg $ engine_arg $ trace_arg $ show_sparql_arg
-      $ export_shexj_arg $ json_arg $ result_map_arg $ quiet_arg
-      $ infer_arg $ infer_label_arg)
+      $ shape_map_arg $ engine_arg $ engine_stats_arg $ trace_arg
+      $ show_sparql_arg $ export_shexj_arg $ json_arg $ result_map_arg
+      $ quiet_arg $ infer_arg $ infer_label_arg)
 
 let () = exit (Cmd.eval cmd)

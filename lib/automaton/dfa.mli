@@ -1,0 +1,76 @@
+(** Lazily built derivative automata for regular shape expressions.
+
+    {!Shex.Deriv.matches} recomputes a derivative {e expression} for
+    every consumed triple of every node it checks.  Within one
+    validation run the same shape is matched against thousands of
+    neighbourhoods, and the derivatives it steps through are massively
+    repetitive — so we compile each shape {e once} into a DFA whose
+    states are hash-consed expressions ({!Hrse}) and whose transition
+    table is filled in lazily, Owens–Reppy–Turon style, and then
+    shared across every node and every call.
+
+    {2 The alphabet: arc classes}
+
+    A DFA needs a finite alphabet, but triples are drawn from an
+    unbounded universe.  A shape, however, can only {e distinguish}
+    triples through its arc constraints: two triples that satisfy
+    exactly the same subset of the shape's arcs (the same direction /
+    predicate-set / value-set tests) produce identical derivatives, by
+    induction on the expression.  The compiler therefore interns each
+    distinct arc of the shape as an {e atom}, and classifies a
+    neighbourhood triple into the bitset of atoms it matches — its
+    {e arc class}.  The finitely many (≤ 2^atoms, in practice a
+    handful) arc classes are the DFA's symbols.
+
+    Arcs whose object is a shape reference [@<L>] are opaque boolean
+    atoms: classification calls the [check_ref] oracle supplied per
+    match — the recursive fixpoint of {!Shex.Validate} — so the
+    automaton itself stays purely syntactic and remains valid as the
+    fixpoint's candidate valuation evolves.
+
+    {2 Laziness and sharing}
+
+    [∂symbol(state)] is computed on first demand through the
+    hash-consed derivative and memoised in the transition table; every
+    later traversal is a hash lookup.  Nullability is precomputed per
+    state, so acceptance is a field read.  {!stats} exposes the cache
+    counters (states materialised, symbols interned, transition hits /
+    misses) that E9 uses to demonstrate cross-node reuse. *)
+
+type t
+
+val compile : Shex.Rse.t -> t
+(** Compile a shape expression.  The automaton starts with only its
+    initial state; transitions appear as matching demands them. *)
+
+val matches :
+  ?check_ref:(Shex.Label.t -> Rdf.Term.t -> bool) ->
+  t ->
+  Rdf.Term.t ->
+  Rdf.Graph.t ->
+  bool
+(** [matches a n g] — does the neighbourhood of [n] in [g] match the
+    compiled shape?  Equivalent to {!Shex.Deriv.matches} on the source
+    expression (the property suite asserts this).  Consumes the
+    neighbourhood triple by triple: classify into an arc class, step
+    the DFA, and finally read the state's nullability.  Stops early in
+    the dead state ∅ — sound exactly when the shape is negation-free,
+    as in the derivative engine. *)
+
+(** Cache counters, cumulative since {!compile}. *)
+type stats = {
+  atoms : int;  (** distinct arc constraints (alphabet generators) *)
+  states : int;  (** DFA states materialised so far *)
+  symbols : int;  (** arc classes (alphabet symbols) seen so far *)
+  hits : int;  (** transition steps answered from the table *)
+  misses : int;  (** transition steps that had to build a derivative *)
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** [7 states, 4 symbols, 5963 steps: 99.2% cached]. *)
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+(** Pointwise sum, for aggregating over the automata of a session. *)

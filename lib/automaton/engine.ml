@@ -1,0 +1,30 @@
+let to_cache_stats (s : Dfa.stats) : Shex.Validate.cache_stats =
+  {
+    atoms = s.atoms;
+    states = s.states;
+    symbols = s.symbols;
+    hits = s.hits;
+    misses = s.misses;
+  }
+
+let backend () : Shex.Validate.compiled_backend =
+  let automata : Dfa.t list ref = ref [] in
+  let compile_shape e =
+    let auto = Dfa.compile e in
+    automata := auto :: !automata;
+    fun ~check_ref n g -> Dfa.matches ~check_ref auto n g
+  in
+  let cache_stats () =
+    to_cache_stats
+      (List.fold_left
+         (fun acc auto -> Dfa.add_stats acc (Dfa.stats auto))
+         Dfa.zero_stats !automata)
+  in
+  { Shex.Validate.compile_shape; cache_stats }
+
+let install () = Shex.Validate.set_compiled_backend backend
+
+(* Self-register at link time: the library is built with -linkall, so
+   any executable that lists shex_automaton gets the Compiled engine
+   without further ceremony. *)
+let () = install ()

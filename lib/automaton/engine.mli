@@ -1,0 +1,16 @@
+(** Registration of the DFA backend with {!Shex.Validate}.
+
+    Core cannot depend on this library, so the [Compiled] engine is
+    wired through {!Shex.Validate.set_compiled_backend}.  This module
+    registers a factory that gives every validation session its own
+    backend instance: one lazy {!Dfa} per shape label, compiled on
+    first use and shared across all nodes of the session, with
+    {!Shex.Validate.compiled_stats} reporting the summed cache
+    counters.
+
+    [install] runs automatically when the library is linked (it is
+    built with [-linkall]), so merely listing [shex_automaton] among an
+    executable's libraries enables [~engine:Compiled]; calling it again
+    is harmless. *)
+
+val install : unit -> unit

@@ -1,0 +1,89 @@
+(** Hash-consed regular shape expressions over an atom alphabet.
+
+    The derivative engine of {!Shex.Deriv} rebuilds a fresh [Rse.t]
+    for every consumed triple and compares expressions structurally —
+    O(size) per comparison.  Compiling to a DFA needs the opposite
+    cost model: O(1) equality so that "have I seen this derivative
+    before?" is a table lookup.  This module provides it, in the style
+    of Owens, Reppy & Turon ({e Regular-expression derivatives
+    re-examined}, JFP 2009): every expression is interned in a
+    {!table} and identified by a unique [id]; two expressions are
+    equal iff their ids are equal (physically equal, in fact).
+
+    Arc leaves are abstracted to integer {e atoms} — indices into the
+    alphabet built by {!Dfa} — which keeps this module independent of
+    the RDF layer and makes derivative computation purely symbolic.
+
+    The smart constructors reproduce the full normalisation of
+    {!Shex.Rse}: the §4 simplification rules, ACI normal form ([‖] and
+    [|] spines flattened into sorted n-ary nodes, [|] deduplicated —
+    [‖] is a bag operator and keeps duplicates) and the distributive
+    factoring [(C ‖ X) | (C ‖ Y) = C ‖ (X | Y)].  Because children are
+    sorted by id and interned, the ACI normal form is {e canonical by
+    construction}: all ACI-equal ways of writing an expression produce
+    the same id (see [test/test_automaton.ml]).
+
+    Nullability ν is computed once at interning time and stored on the
+    node, so the DFA's acceptance check is a field read. *)
+
+type t = private {
+  id : int;  (** unique within the owning table; equality witness *)
+  node : node;
+  nullable : bool;  (** ν, precomputed at interning time *)
+}
+
+and node = private
+  | Empty
+  | Epsilon
+  | Atom of int  (** arc leaf, abstracted to an alphabet index *)
+  | Star of t
+  | And of t list  (** ≥ 2 children, sorted by id; a bag (duplicates kept) *)
+  | Or of t list  (** ≥ 2 children, sorted by id, deduplicated *)
+  | Not of t
+
+type table
+(** The interning table.  All expressions combined by the constructors
+    below must come from the same table; ids are unique only within
+    it. *)
+
+val create : unit -> table
+
+val cardinal : table -> int
+(** Number of distinct expressions interned so far. *)
+
+(** {1 Constructors}
+
+    All apply the §4 simplification rules and ACI normalisation, as
+    {!Shex.Rse}'s smart constructors do, then intern. *)
+
+val empty : table -> t
+val epsilon : table -> t
+
+val atom : table -> int -> t
+(** [atom tbl i] — the arc leaf for alphabet index [i ≥ 0]. *)
+
+val star : table -> t -> t
+val and_ : table -> t -> t -> t
+val or_ : table -> t -> t -> t
+val not_ : table -> t -> t
+val and_all : table -> t list -> t
+val or_all : table -> t list -> t
+
+(** {1 Observations} *)
+
+val equal : t -> t -> bool
+(** O(1): id comparison. *)
+
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_empty : t -> bool
+(** Is this the interned ∅?  (The dead state of a negation-free
+    automaton.) *)
+
+val size : t -> int
+(** AST nodes, counting an n-ary [And]/[Or] as [n − 1] binary nodes —
+    comparable with {!Shex.Rse.size}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering with atoms printed as [#i]. *)

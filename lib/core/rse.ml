@@ -31,6 +31,10 @@ let arc_equal a b =
   && obj_spec_equal a.obj b.obj
   && Bool.equal a.inverse b.inverse
 
+(* Arcs are pure first-order data, so the polymorphic compare is a
+   valid total order (same argument as [compare] below). *)
+let arc_compare (a : arc) (b : arc) = Stdlib.compare a b
+
 let rec equal a b =
   match (a, b) with
   | Empty, Empty | Epsilon, Epsilon -> true

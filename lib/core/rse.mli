@@ -110,6 +110,12 @@ val has_ref : t -> bool
 val has_inverse : t -> bool
 val has_not : t -> bool
 
+val arc_equal : arc -> arc -> bool
+val arc_compare : arc -> arc -> int
+(** Structural equality / total order on arc leaves — the hooks the
+    hash-consing compiler uses to intern each distinct arc as one atom
+    of the automaton alphabet. *)
+
 val arcs : t -> arc list
 (** All arc leaves, left to right. *)
 

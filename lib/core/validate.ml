@@ -1,4 +1,4 @@
-type engine = Derivatives | Backtracking | Auto
+type engine = Derivatives | Backtracking | Auto | Compiled
 
 module Pair = struct
   type t = Rdf.Term.t * Label.t
@@ -10,7 +10,38 @@ end
 
 module Pair_set = Set.Make (Pair)
 
-type compiled = Counting of Sorbe.t | Generic
+(* The automaton backend (lib/automaton) registers itself here.  The
+   indirection keeps the dependency arrow pointing outwards: core
+   defines the contract, the automaton library fulfils it, and a
+   session instantiates one backend so its transition tables are
+   shared across every label, node and check of the session. *)
+
+type cache_stats = {
+  atoms : int;
+  states : int;
+  symbols : int;
+  hits : int;
+  misses : int;
+}
+
+type compiled_matcher =
+  check_ref:(Label.t -> Rdf.Term.t -> bool) ->
+  Rdf.Term.t ->
+  Rdf.Graph.t ->
+  bool
+
+type compiled_backend = {
+  compile_shape : Rse.t -> compiled_matcher;
+  cache_stats : unit -> cache_stats;
+}
+
+let compiled_backend_factory : (unit -> compiled_backend) option ref =
+  ref None
+
+let set_compiled_backend f = compiled_backend_factory := Some f
+let compiled_backend_installed () = Option.is_some !compiled_backend_factory
+
+type compiled = Counting of Sorbe.t | Table of compiled_matcher | Generic
 
 type session = {
   engine : engine;
@@ -18,25 +49,47 @@ type session = {
   graph : Rdf.Graph.t;
   proven : (Pair.t, bool) Hashtbl.t;  (* settled verdicts, memoised *)
   compiled : (Label.t, compiled) Hashtbl.t;
-      (* per-label compilation to the SORBE counting matcher (Auto) *)
+      (* per-label compilation: SORBE counting matcher or lazy DFA *)
+  backend : compiled_backend option;
+      (* session-wide automaton store (Compiled, and Auto's fallback) *)
 }
 
 let session ?(engine = Derivatives) schema graph =
+  let backend =
+    match (engine, !compiled_backend_factory) with
+    | (Compiled | Auto), Some make -> Some (make ())
+    | Compiled, None ->
+        failwith
+          "Validate: engine Compiled requires the automaton backend \
+           (link shex_automaton, or call Shex_automaton.Engine.install)"
+    | _, _ -> None
+  in
   { engine; schema; graph;
     proven = Hashtbl.create 256;
-    compiled = Hashtbl.create 16 }
+    compiled = Hashtbl.create 16;
+    backend }
 
 let compile st l e =
   match Hashtbl.find_opt st.compiled l with
   | Some c -> c
   | None ->
-      let c =
-        match Sorbe.of_rse e with
-        | Some sorbe -> Counting sorbe
+      let table () =
+        match st.backend with
+        | Some b -> Table (b.compile_shape e)
         | None -> Generic
+      in
+      let c =
+        match st.engine with
+        | Compiled -> table ()
+        | _ -> (
+            match Sorbe.of_rse e with
+            | Some sorbe -> Counting sorbe
+            | None -> table ())
       in
       Hashtbl.replace st.compiled l c;
       c
+
+let compiled_stats st = Option.map (fun b -> b.cache_stats ()) st.backend
 
 type outcome = { ok : bool; typing : Typing.t; reason : string option }
 
@@ -75,11 +128,14 @@ let rec evaluate st ~value ~demand ((n, l) : Pair.t) =
         match st.engine with
         | Derivatives -> Deriv.matches ~check_ref n st.graph e
         | Backtracking -> Backtrack.matches ~check_ref n st.graph e
-        | Auto -> (
-            (* Use the linear counting matcher when the shape is in
-               the single-occurrence fragment (experiment E4). *)
+        | Auto | Compiled -> (
+            (* Per-label compilation (experiments E4, E9): Auto uses
+               the linear counting matcher when the shape is in the
+               single-occurrence fragment and the lazy DFA otherwise;
+               Compiled always uses the DFA. *)
             match compile st l e with
             | Counting sorbe -> Sorbe.matches ~check_ref n st.graph sorbe
+            | Table matcher -> matcher ~check_ref n st.graph
             | Generic -> Deriv.matches ~check_ref n st.graph e)
       in
       (ok, !used)

@@ -33,11 +33,64 @@ type engine =
   | Auto
       (** compile each shape once: the SORBE counting matcher when the
           shape is single-occurrence (linear, no expression rebuilding
-          — experiment E4), derivatives otherwise *)
+          — experiment E4), the compiled DFA when an automaton backend
+          is linked, derivatives otherwise *)
+  | Compiled
+      (** hash-consed lazy derivative automata (lib/automaton,
+          experiment E9): each shape is compiled once, every node is
+          then validated by transition-table lookups shared across the
+          whole session.  Requires the [shex_automaton] library to be
+          linked (it installs itself via {!set_compiled_backend});
+          {!session} raises [Failure] otherwise. *)
 
 type session
 
 val session : ?engine:engine -> Schema.t -> Rdf.Graph.t -> session
+
+(** {1 Compiled-engine backend}
+
+    The automaton subsystem lives in its own library on top of core,
+    so core cannot call it directly; instead the backend registers a
+    factory here and sessions instantiate it on demand.  One backend
+    instance is created per {!session}, so compiled tables — and the
+    statistics below — are shared across all labels and nodes of the
+    session but never leak between sessions. *)
+
+(** Cache counters of a session's compiled automata (summed over the
+    session's shapes; see E9). *)
+type cache_stats = {
+  atoms : int;    (** distinct arc constraints interned as alphabet atoms *)
+  states : int;   (** DFA states materialised (hash-consed derivatives) *)
+  symbols : int;  (** arc-class symbols (triple equivalence classes) seen *)
+  hits : int;     (** transition steps answered from the memo table *)
+  misses : int;   (** transition steps that built a new derivative *)
+}
+
+type compiled_matcher =
+  check_ref:(Label.t -> Rdf.Term.t -> bool) ->
+  Rdf.Term.t ->
+  Rdf.Graph.t ->
+  bool
+(** What a compiled shape can do: decide whether a node's
+    neighbourhood matches, resolving shape references through the
+    fixpoint's [check_ref] oracle. *)
+
+type compiled_backend = {
+  compile_shape : Rse.t -> compiled_matcher;
+  cache_stats : unit -> cache_stats;
+}
+
+val set_compiled_backend : (unit -> compiled_backend) -> unit
+(** Install the backend factory (called by
+    [Shex_automaton.Engine.install], which the library also runs at
+    link time).  The factory is invoked once per session. *)
+
+val compiled_backend_installed : unit -> bool
+
+val compiled_stats : session -> cache_stats option
+(** The session's automaton cache counters — [None] unless the
+    session instantiated a backend (engine [Compiled], or [Auto] with
+    the backend linked). *)
 
 (** Result of checking one node against one label. *)
 type outcome = {

@@ -1,0 +1,48 @@
+The compiled engine (hash-consed lazy derivative automata) on the
+repository's data/ example — same verdicts as the default engine:
+
+  $ shex-validate --schema ../../data/person.shex \
+  >   --data ../../data/people.ttl --engine compiled
+  <http://example.org/bob> ↦ {<Person>}
+  <http://example.org/john> ↦ {<Person>}
+
+A single-node check, with the cache counters on stderr.  The Person
+shape compiles to 3 atoms; checking john touches only a few states and
+already reuses transitions:
+
+  $ shex-validate --schema ../../data/person.shex \
+  >   --data ../../data/people.ttl \
+  >   --node http://example.org/john --shape Person \
+  >   --engine compiled --engine-stats
+  engine cache: 3 atoms, 3 states, 3 symbols, 12 steps (8 hits, 4 misses, 66.7% cached)
+  PASS <http://example.org/john>@<Person>
+  1 conformant, 0 nonconformant
+
+Whole-graph validation shares one transition table across all nodes,
+so most steps are answered from cache:
+
+  $ shex-validate --schema ../../data/person.shex \
+  >   --data ../../data/people.ttl \
+  >   --engine compiled --engine-stats --quiet
+  engine cache: 3 atoms, 4 states, 3 symbols, 17 steps (12 hits, 5 misses, 70.6% cached)
+
+Nonconformance still explains itself (the reason comes from the
+derivative trace, independent of the matching engine):
+
+  $ shex-validate --schema ../../data/person.shex \
+  >   --data ../../data/people.ttl \
+  >   --node http://example.org/mary --shape Person --engine compiled
+  FAIL <http://example.org/mary>@<Person>
+       triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> "65"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)
+  0 conformant, 1 nonconformant
+  [1]
+
+An unknown engine is a usage error:
+
+  $ shex-validate --schema ../../data/person.shex \
+  >   --data ../../data/people.ttl --engine nope
+  shex-validate: option '--engine': invalid value 'nope', expected one of
+                 'derivatives', 'backtracking', 'auto' or 'compiled'
+  Usage: shex-validate [OPTION]…
+  Try 'shex-validate --help' for more information.
+  [124]
