@@ -6,20 +6,27 @@
    for, and E7 re-checks the worked examples.  See DESIGN.md §4.
 
    Usage:
-     dune exec bench/main.exe            # all experiments, table mode
-     dune exec bench/main.exe -- E1 E3   # a subset
-     dune exec bench/main.exe -- --quick # smaller sweeps
-     dune exec bench/main.exe -- --micro # bechamel micro-benchmarks *)
+     dune exec bench/main.exe                 # all experiments, table mode
+     dune exec bench/main.exe -- E1 E3        # a subset
+     dune exec bench/main.exe -- --quick      # smaller sweeps
+     dune exec bench/main.exe -- --smoke      # tiny sweeps + budgets (CI)
+     dune exec bench/main.exe -- --json FILE  # machine-readable results
+     dune exec bench/main.exe -- --micro      # bechamel micro-benchmarks *)
 
 let quick = ref false
+let smoke = ref false
 
 (* ------------------------------------------------------------------ *)
 (* Timing                                                             *)
 (* ------------------------------------------------------------------ *)
 
 (* CPU-time measurement: run [f] until at least [budget] seconds have
-   been consumed (at least [min_runs] times) and report seconds/run. *)
+   been consumed (at least [min_runs] times) and report seconds/run.
+   Smoke mode (CI) shrinks both knobs: the numbers only have to exist,
+   not be stable. *)
 let time_per_run ?(budget = 0.2) ?(min_runs = 3) f =
+  let budget = if !smoke then 0.01 else budget in
+  let min_runs = if !smoke then 1 else min_runs in
   ignore (f ());
   let t0 = Sys.time () in
   let rec go runs =
@@ -37,6 +44,45 @@ let header title = Format.printf "@.=== %s ===@.@." title
 let row fmt = Format.printf fmt
 
 (* ------------------------------------------------------------------ *)
+(* JSON output and per-experiment telemetry                            *)
+(* ------------------------------------------------------------------ *)
+
+(* With [--json FILE] every experiment also records its table as
+   structured rows and owns a live telemetry registry: each experiment
+   re-runs one representative workload untimed with instruments
+   attached (never inside a timed closure — the tables stay honest)
+   and the snapshot is embedded next to the rows. *)
+let json_out : string option ref = ref None
+let experiments_json : Json.t list ref = ref []
+let current_rows : Json.t list ref = ref []
+let current_tele = ref Telemetry.disabled
+
+let tele () = !current_tele
+let jint n = Json.int n
+let jflt v = Json.Number v
+let jstr s = Json.String s
+let jrow cells = if !json_out <> None then
+  current_rows := Json.Object cells :: !current_rows
+
+(* Run an instrumented observation only when a JSON report wants its
+   telemetry — table mode skips the extra (untimed) work entirely. *)
+let observe f = if !json_out <> None then ignore (f ())
+
+let begin_experiment () =
+  current_rows := [];
+  current_tele :=
+    (if !json_out = None then Telemetry.disabled else Telemetry.create ())
+
+let end_experiment id =
+  if !json_out <> None then
+    experiments_json :=
+      Json.Object
+        [ ("id", jstr id);
+          ("rows", Json.Array (List.rev !current_rows));
+          ("telemetry", Telemetry.to_json (Telemetry.snapshot !current_tele)) ]
+      :: !experiments_json
+
+(* ------------------------------------------------------------------ *)
 (* E1: backtracking vs derivatives                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -47,6 +93,8 @@ let e1 () =
   let shape = Workload.Micro_gen.example5_shape () in
   let focus = Workload.Micro_gen.focus in
   let sizes = if !quick then [ 2; 4; 6; 8; 10 ] else [ 2; 4; 6; 8; 10; 12; 14; 16 ] in
+  let dinstr = Shex.Deriv.instruments (tele ()) in
+  let binstr = Shex.Backtrack.instruments (tele ()) in
   row "  %-4s %-8s  %-14s %-14s %-14s %-10s@." "n" "verdict" "backtrack-ops"
     "backtrack" "derivatives" "speedup";
   List.iter
@@ -62,6 +110,13 @@ let e1 () =
           in
           assert (Bool.equal verdict (label = "valid"));
           assert (Bool.equal verdict (Shex.Deriv.matches focus g shape));
+          observe (fun () ->
+              ignore (Shex.Deriv.matches ~instr:dinstr focus g shape);
+              Shex.Backtrack.matches ~instr:binstr focus g shape);
+          jrow
+            [ ("n", jint n); ("verdict", jstr label);
+              ("backtrack_ops", jint ops); ("backtrack_us", jflt (us t_back));
+              ("derivatives_us", jflt (us t_deriv)) ];
           row "  %-4d %-8s  %-14d %11.2f us %11.2f us %9.0fx@." n label ops
             (us t_back) (us t_deriv)
             (t_back /. t_deriv))
@@ -104,6 +159,15 @@ let e2 () =
         time_per_run (fun () ->
             Shex.Deriv.matches Workload.Micro_gen.focus g shape)
       in
+      observe (fun () ->
+          Shex.Deriv.matches
+            ~instr:(Shex.Deriv.instruments (tele ()))
+            Workload.Micro_gen.focus g shape);
+      jrow
+        [ ("k", jint k); ("initial", jint (Shex.Rse.size shape));
+          ("max_size", jint !max_size);
+          ("final", jint (Shex.Rse.size final));
+          ("match_us", jflt (us t)) ];
       row "  %-4d %-12d %-12d %-12d %11.2f us@." k (Shex.Rse.size shape)
         !max_size (Shex.Rse.size final) (us t))
     sizes;
@@ -145,6 +209,16 @@ let e3 () =
             typed := Shex.Typing.cardinal typing)
       in
       assert (!typed = List.length valid);
+      observe (fun () ->
+          let session =
+            Shex.Validate.session ~telemetry:(tele ()) schema graph
+          in
+          Shex.Validate.validate_graph session);
+      jrow
+        [ ("persons", jint n); ("triples", jint (Rdf.Graph.cardinal graph));
+          ("valid", jint (List.length valid)); ("typed", jint !typed);
+          ("total_ms", jflt (ms t));
+          ("per_person_us", jflt (us (t /. float_of_int n))) ];
       row "  %-7d %-8d %-8d %-9d %9.2f ms %11.2f us@." n
         (Rdf.Graph.cardinal graph)
         (List.length valid) !typed (ms t)
@@ -182,6 +256,18 @@ let e4 () =
           (Shex.Sorbe.matches focus g sorbe));
       let t_deriv = time_per_run (fun () -> Shex.Deriv.matches focus g shape) in
       let t_sorbe = time_per_run (fun () -> Shex.Sorbe.matches focus g sorbe) in
+      observe (fun () ->
+          ignore
+            (Shex.Deriv.matches
+               ~instr:(Shex.Deriv.instruments (tele ()))
+               focus g shape);
+          Shex.Sorbe.matches
+            ~instr:(Shex.Sorbe.instruments (tele ()))
+            focus g sorbe);
+      jrow
+        [ ("fan", jint f); ("triples", jint (Rdf.Graph.cardinal g));
+          ("derivatives_us", jflt (us t_deriv));
+          ("counting_us", jflt (us t_sorbe)) ];
       row "  %-5d %-8d %11.2f us %11.2f us %7.1fx@." f (Rdf.Graph.cardinal g)
         (us t_deriv) (us t_sorbe)
         (t_deriv /. t_sorbe))
@@ -228,6 +314,14 @@ let e5 () =
         time_per_run (fun () ->
             Shex.Deriv.matches ~ctors:Shex.Rse.raw_ctors focus g shape)
       in
+      observe (fun () ->
+          Shex.Deriv.matches
+            ~instr:(Shex.Deriv.instruments (tele ()))
+            focus g shape);
+      jrow
+        [ ("n", jint n); ("smart_size", jint smart_size);
+          ("raw_size", jint raw_size); ("smart_us", jflt (us t_smart));
+          ("raw_us", jflt (us t_raw)) ];
       row "  %-4d %-12d %-12d %11.2f us %11.2f us@." n smart_size raw_size
         (us t_smart) (us t_raw))
     sizes;
@@ -254,6 +348,10 @@ let e5 () =
           string_of_int (max_size Shex.Rse.raw_ctors shape dts)
         else "(>10^8)"
       in
+      jrow
+        [ ("k", jint k);
+          ("factored_size", jint (max_size Shex.Rse.smart_ctors shape dts));
+          ("aci_size", jstr aci); ("raw_size", jstr raw) ];
       row "  %-4d %-14d %-14s %-14s@." k
         (max_size Shex.Rse.smart_ctors shape dts)
         aci raw)
@@ -309,6 +407,16 @@ let e6 () =
       let agree = List.sort Rdf.Term.compare d = s in
       let t_deriv = time_per_run ~budget:0.3 (fun () -> deriv_nodes ()) in
       let t_sparql = time_per_run ~budget:0.3 (fun () -> sparql_nodes ()) in
+      observe (fun () ->
+          let instr = Shex.Deriv.instruments (tele ()) in
+          List.filter
+            (fun node -> Shex.Deriv.matches ~instr node graph shape)
+            (Rdf.Graph.subjects graph));
+      jrow
+        [ ("persons", jint n); ("triples", jint (Rdf.Graph.cardinal graph));
+          ("matching", jint (List.length d));
+          ("derivatives_ms", jflt (ms t_deriv));
+          ("sparql_ms", jflt (ms t_sparql)); ("agree", Json.Bool agree) ];
       row "  %-7d %-8d %-7d %9.2f ms %9.2f ms %7.1fx %-6b@." n
         (Rdf.Graph.cardinal graph)
         (List.length d) (ms t_deriv) (ms t_sparql)
@@ -355,6 +463,15 @@ let e8 () =
       let t_deriv, n_deriv = run Shex.Validate.Derivatives in
       let t_auto, n_auto = run Shex.Validate.Auto in
       assert (n_deriv = n_auto);
+      observe (fun () ->
+          let session =
+            Shex.Validate.session ~engine:Shex.Validate.Auto
+              ~telemetry:(tele ()) schema graph
+          in
+          Shex.Validate.validate_graph session);
+      jrow
+        [ ("persons", jint n); ("triples", jint (Rdf.Graph.cardinal graph));
+          ("derivatives_ms", jflt (ms t_deriv)); ("auto_ms", jflt (ms t_auto)) ];
       row "  %-7d %-8d %9.2f ms %9.2f ms %6.1fx@." n
         (Rdf.Graph.cardinal graph) (ms t_deriv) (ms t_auto)
         (t_deriv /. t_auto))
@@ -413,6 +530,19 @@ let e9 () =
               (100.0 *. float_of_int s.Shex.Validate.hits
               /. float_of_int (max 1 steps))
       in
+      observe (fun () ->
+          let session =
+            Shex.Validate.session ~engine:Shex.Validate.Compiled
+              ~telemetry:(tele ()) schema graph
+          in
+          ignore (Shex.Validate.validate_graph session);
+          (* [metrics] folds the automaton cache counters into the
+             experiment registry alongside the engine counters. *)
+          Shex.Validate.metrics session);
+      jrow
+        [ ("persons", jint n); ("triples", jint (Rdf.Graph.cardinal graph));
+          ("derivatives_ms", jflt (ms t_deriv));
+          ("compiled_ms", jflt (ms t_comp)); ("cache", jstr cache) ];
       row "  %-7d %-8d %9.2f ms %9.2f ms %7.1fx %-26s@." n
         (Rdf.Graph.cardinal graph) (ms t_deriv) (ms t_comp)
         (t_deriv /. t_comp) cache)
@@ -440,6 +570,10 @@ let e9 () =
       in
       let t_sorbe = time_per_run (fun () -> Shex.Sorbe.matches focus g sorbe) in
       let s = Shex_automaton.Dfa.stats auto in
+      jrow
+        [ ("fan", jint f); ("triples", jint (Rdf.Graph.cardinal g));
+          ("derivatives_us", jflt (us t_deriv));
+          ("compiled_us", jflt (us t_comp)); ("counting_us", jflt (us t_sorbe)) ];
       row "  %-5d %-8d %11.2f us %11.2f us %11.2f us %-20s@." f
         (Rdf.Graph.cardinal g) (us t_deriv) (us t_comp) (us t_sorbe)
         (Format.asprintf "%a" Shex_automaton.Dfa.pp_stats s))
@@ -478,6 +612,7 @@ let e7 () =
       [ t3 "n" "a" (num 1); t3 "n" "a" (num 2); t3 "n" "b" (num 1) ]
   in
   let check name cond =
+    jrow [ ("check", jstr name); ("pass", Json.Bool cond) ];
     row "  %-66s %s@." name (if cond then "PASS" else "FAIL")
   in
   check "Example 3: a 3-triple graph has 2^3 = 8 decompositions"
@@ -517,7 +652,9 @@ let e7 () =
        :mary foaf:age 50, 65 .\n"
   in
   let schema, person = Workload.Foaf_gen.person_schema () in
-  let session = Shex.Validate.session schema example2_graph in
+  let session =
+    Shex.Validate.session ~telemetry:(tele ()) schema example2_graph
+  in
   check "Examples 1-2/14: john and bob are Persons, mary is not"
     (Shex.Validate.check_bool session (node "john") person
     && Shex.Validate.check_bool session (node "bob") person
@@ -526,6 +663,60 @@ let e7 () =
     (match Sparql.Eval.run example2_graph (Sparql.Gen.example4_query ()) with
     | `Boolean b -> b
     | `Solutions _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* E10: telemetry overhead                                             *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  header
+    "E10 Telemetry overhead \xe2\x80\x94 portal validation with the \
+     registry disabled vs enabled";
+  let sizes = if !quick then [ 100; 300; 1000 ] else [ 100; 300; 1000; 3000 ] in
+  let schema, _ = Workload.Foaf_gen.person_schema () in
+  (* The enabled arm reuses one registry across repetitions: counters
+     just keep accumulating, so no allocation shows up in the timing.
+     In JSON mode it is the experiment registry, so the snapshot of a
+     fully-instrumented portal run lands in the report. *)
+  let enabled_reg =
+    if !json_out <> None then tele () else Telemetry.create ()
+  in
+  row "  %-7s %-8s %-12s %-12s %-10s@." "persons" "triples" "disabled"
+    "enabled" "overhead";
+  List.iter
+    (fun n ->
+      let profile =
+        { Workload.Foaf_gen.n_persons = n;
+          invalid_fraction = 0.1;
+          knows_degree = 3;
+          seed = 7 }
+      in
+      let { Workload.Foaf_gen.graph; _ } =
+        Workload.Foaf_gen.generate profile
+      in
+      let run telemetry =
+        time_per_run ~budget:0.3 (fun () ->
+            let session = Shex.Validate.session ?telemetry schema graph in
+            Shex.Validate.validate_graph session)
+      in
+      Telemetry.Span.time (Telemetry.span (tele ()) "e10_measure") (fun () ->
+          let t_off = run None in
+          let t_on = run (Some enabled_reg) in
+          let overhead = 100.0 *. (t_on -. t_off) /. t_off in
+          jrow
+            [ ("persons", jint n);
+              ("triples", jint (Rdf.Graph.cardinal graph));
+              ("disabled_ms", jflt (ms t_off)); ("enabled_ms", jflt (ms t_on));
+              ("enabled_overhead_pct", jflt overhead) ];
+          row "  %-7d %-8d %9.2f ms %9.2f ms %+8.1f%%@." n
+            (Rdf.Graph.cardinal graph) (ms t_off) (ms t_on) overhead))
+    sizes;
+  row
+    "@.  Expectation: the disabled path is one load-and-branch per \
+     instrumentation point, so@.  the \"disabled\" column matches \
+     pre-instrumentation E3 timings within noise (<5%%);@.  enabling \
+     the registry costs a few percent (counter bumps plus two \
+     expression-size@.  walks per derivative step).@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -603,15 +794,41 @@ let micro () =
 
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
-    ("E7", e7); ("E8", e8); ("E9", e9) ]
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let run_micro = List.mem "--micro" args in
-  quick := List.mem "--quick" args;
-  let wanted =
-    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  let run_micro = ref false in
+  let rec parse = function
+    | [] -> []
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--smoke" :: rest ->
+        (* CI mode: quick sweeps plus minimal timing budgets. *)
+        smoke := true;
+        quick := true;
+        parse rest
+    | "--micro" :: rest ->
+        run_micro := true;
+        parse rest
+    | "--json" :: file :: rest when String.length file = 0 || file.[0] <> '-'
+      ->
+        json_out := Some file;
+        parse rest
+    | "--json" :: _ ->
+        prerr_endline "--json requires a FILE argument";
+        exit 2
+    | a :: _ when String.length a > 1 && a.[0] = '-' ->
+        Printf.eprintf
+          "unknown option: %s\n\
+           usage: main.exe [E1 .. E10] [--quick] [--smoke] [--json FILE] \
+           [--micro]\n"
+          a;
+        exit 2
+    | a :: rest -> a :: parse rest
   in
+  let wanted = parse args in
   (match
      List.filter (fun a -> not (List.mem_assoc a all_experiments)) wanted
    with
@@ -630,9 +847,26 @@ let () =
   Format.printf
     "shex-derivatives benchmark harness \xe2\x80\x94 reproducing the \
      EDBT/ICDT 2015 workshops paper@.";
-  if run_micro then micro ()
+  if !run_micro then micro ()
   else begin
-    List.iter (fun (_, f) -> f ()) selected;
+    List.iter
+      (fun (id, f) ->
+        begin_experiment ();
+        f ();
+        end_experiment id)
+      selected;
+    (match !json_out with
+    | None -> ()
+    | Some file ->
+        let doc =
+          Json.Object
+            [ ("format", Json.int 2);
+              ("experiments", Json.Array (List.rev !experiments_json)) ]
+        in
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc (Json.to_string doc);
+            output_char oc '\n');
+        Format.printf "@.JSON results written to %s@." file);
     Format.printf
       "@.All experiments complete.  See EXPERIMENTS.md for the \
        paper-vs-measured discussion.@."

@@ -26,6 +26,8 @@ let engine_of_choice = function
   | AutoE -> Shex.Validate.Auto
   | CompiledE -> Shex.Validate.Compiled
 
+type metrics_mode = Mtext | Mjson
+
 let load_schema path =
   let src = read_file path in
   let result =
@@ -79,28 +81,42 @@ let print_trace session schema graph node label =
   in
   Format.printf "%a@." Shex.Deriv.pp_trace trace
 
+(* One code path for every engine: the unified telemetry snapshot
+   (folding in the automaton cache when one is active) on stderr. *)
 let print_engine_stats session =
-  match Shex.Validate.compiled_stats session with
-  | None ->
-      prerr_endline
-        "engine cache: no compiled backend in use (see --engine)"
-  | Some s ->
-      let open Shex.Validate in
-      let steps = s.hits + s.misses in
-      Printf.eprintf
-        "engine cache: %d atoms, %d states, %d symbols, %d steps (%d hits, \
-         %d misses, %.1f%% cached)\n\
-         %!"
-        s.atoms s.states s.symbols steps s.hits s.misses
-        (if steps = 0 then 0.0
-         else 100.0 *. float_of_int s.hits /. float_of_int steps)
+  let snap = Shex.Validate.metrics session in
+  if Telemetry.is_empty snap then
+    prerr_endline "no stats: telemetry is disabled for this session"
+  else Format.eprintf "%a%!" Telemetry.pp_text snap
 
-let emit_report report ~json ~result_map ~quiet =
-  if json then
-    print_endline (Json.to_string (Shex.Report.to_json report))
-  else if result_map then
-    print_endline (Shex.Report.to_result_shape_map report)
-  else if not quiet then Format.printf "%a@." Shex.Report.pp report;
+let print_metrics session = function
+  | None -> ()
+  | Some Mtext ->
+      Format.printf "%a%!" Telemetry.pp_text (Shex.Validate.metrics session)
+  | Some Mjson ->
+      print_endline
+        (Json.to_string (Telemetry.to_json (Shex.Validate.metrics session)))
+
+let emit_report session report ~json ~result_map ~quiet ~metrics =
+  if json then begin
+    (* --json --metrics json: one document, snapshot under "metrics". *)
+    let embedded =
+      match metrics with
+      | Some Mjson -> Some (Shex.Validate.metrics session)
+      | Some Mtext | None -> None
+    in
+    print_endline
+      (Json.to_string (Shex.Report.to_json ?metrics:embedded report));
+    match metrics with
+    | Some Mtext -> print_metrics session metrics
+    | Some Mjson | None -> ()
+  end
+  else begin
+    if result_map then
+      print_endline (Shex.Report.to_result_shape_map report)
+    else if not quiet then Format.printf "%a@." Shex.Report.pp report;
+    print_metrics session metrics
+  end;
   if Shex.Report.all_conformant report then exit 0 else exit 1
 
 let infer_cmd data_path label_name nodes_text =
@@ -128,8 +144,8 @@ let infer_cmd data_path label_name nodes_text =
       exit 2
 
 let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
-    engine engine_stats trace show_sparql export_shexj json result_map quiet
-    infer_nodes infer_label =
+    engine engine_stats metrics trace_json trace show_sparql export_shexj
+    json result_map quiet infer_nodes infer_label =
   (match infer_nodes with
   | Some nodes_text -> infer_cmd data_path infer_label nodes_text
   | None -> ());
@@ -158,8 +174,26 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
   end;
   let data_path = require_data data_path in
   let graph = load_graph data_path in
+  let tele =
+    if engine_stats || metrics <> None || trace_json <> None then
+      Telemetry.create ()
+    else Telemetry.disabled
+  in
+  (match trace_json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      (* The report emitters terminate via [exit]. *)
+      at_exit (fun () -> close_out_noerr oc);
+      Telemetry.set_sink tele
+        (Some
+           (fun ev ->
+             output_string oc
+               (Json.to_string ~minify:true (Telemetry.event_to_json ev));
+             output_char oc '\n')));
   let session =
-    Shex.Validate.session ~engine:(engine_of_choice engine) schema graph
+    Shex.Validate.session ~engine:(engine_of_choice engine) ~telemetry:tele
+      schema graph
   in
   let maybe_stats () = if engine_stats then print_engine_stats session in
   match (shape_map_opt, node_opt, shape_opt) with
@@ -171,7 +205,7 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
       | Ok shape_map ->
           let report = Shex.Report.run_shape_map session shape_map graph in
           maybe_stats ();
-          emit_report report ~json ~result_map ~quiet)
+          emit_report session report ~json ~result_map ~quiet ~metrics)
   | Some _, _, _ ->
       Printf.eprintf "--shape-map cannot be combined with --node/--shape\n";
       exit 2
@@ -181,7 +215,7 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
       let report = Shex.Report.run session [ (node, label) ] in
       if trace then print_trace session schema graph node label;
       maybe_stats ();
-      emit_report report ~json ~result_map ~quiet
+      emit_report session report ~json ~result_map ~quiet ~metrics
   | None, None, None ->
       (* Whole-graph mode: every node against every shape. *)
       let associations =
@@ -193,16 +227,24 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
       let report = Shex.Report.run session associations in
       maybe_stats ();
       if json then begin
-        print_endline (Json.to_string (Shex.Report.to_json report));
+        let embedded =
+          match metrics with
+          | Some Mjson -> Some (Shex.Validate.metrics session)
+          | Some Mtext | None -> None
+        in
+        print_endline
+          (Json.to_string (Shex.Report.to_json ?metrics:embedded report));
         exit 0
       end;
       let typing = report.Shex.Report.typing in
       if Shex.Typing.is_empty typing then begin
         if not quiet then print_endline "no node conforms to any shape";
+        print_metrics session metrics;
         exit 1
       end
       else begin
         if not quiet then Format.printf "%a@." Shex.Typing.pp typing;
+        print_metrics session metrics;
         exit 0
       end
   | None, _, _ ->
@@ -282,9 +324,35 @@ let engine_stats_arg =
     value & flag
     & info [ "engine-stats" ]
         ~doc:
-          "After validating, print the compiled engine's cache counters \
-           (states, arc-class symbols, transition hits/misses) on stderr.  \
-           Only meaningful with $(b,--engine) $(b,compiled) or $(b,auto).")
+          "After validating, print the unified telemetry snapshot for \
+           whatever engine ran (derivative steps, backtracking branches, \
+           SORBE counter updates, fixpoint iterations, and — with \
+           $(b,--engine) $(b,compiled) or $(b,auto) — the automaton \
+           cache counters) on stderr.")
+
+let metrics_arg =
+  let choices = [ ("text", Mtext); ("json", Mjson) ] in
+  Arg.(
+    value
+    & opt (some (enum choices)) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Enable telemetry and print the session metrics snapshot on \
+           stdout after the report: $(b,text) (Prometheus-style \
+           exposition) or $(b,json).  With $(b,--json), $(b,--metrics) \
+           $(b,json) embeds the snapshot under a $(b,metrics) key of the \
+           report document instead.")
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and stream machine-readable derivative \
+           traces to $(docv): one JSON object per line, one line per \
+           derivative step taken by the matching engine (the structured \
+           form of $(b,--trace)).")
 
 let trace_arg =
   Arg.(
@@ -338,8 +406,9 @@ let cmd =
     (Cmd.info "shex-validate" ~doc ~man)
     Term.(
       const validate_cmd $ schema_arg $ data_arg $ node_arg $ shape_arg
-      $ shape_map_arg $ engine_arg $ engine_stats_arg $ trace_arg
-      $ show_sparql_arg $ export_shexj_arg $ json_arg $ result_map_arg
-      $ quiet_arg $ infer_arg $ infer_label_arg)
+      $ shape_map_arg $ engine_arg $ engine_stats_arg $ metrics_arg
+      $ trace_json_arg $ trace_arg $ show_sparql_arg $ export_shexj_arg
+      $ json_arg $ result_map_arg $ quiet_arg $ infer_arg
+      $ infer_label_arg)
 
 let () = exit (Cmd.eval cmd)

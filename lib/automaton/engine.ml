@@ -14,13 +14,25 @@ let backend () : Shex.Validate.compiled_backend =
     automata := auto :: !automata;
     fun ~check_ref n g -> Dfa.matches ~check_ref auto n g
   in
-  let cache_stats () =
-    to_cache_stats
-      (List.fold_left
-         (fun acc auto -> Dfa.add_stats acc (Dfa.stats auto))
-         Dfa.zero_stats !automata)
+  let summed () =
+    List.fold_left
+      (fun acc auto -> Dfa.add_stats acc (Dfa.stats auto))
+      Dfa.zero_stats !automata
   in
-  { Shex.Validate.compile_shape; cache_stats }
+  let cache_stats () = to_cache_stats (summed ()) in
+  (* The registry half of the stats migration: the same counters,
+     pushed into a session's telemetry so {!Shex.Validate.metrics}
+     exposes every engine through one snapshot.  Table sizes are
+     gauges (a reading, not a rate); transition steps are counters. *)
+  let export_stats tele =
+    let s = summed () in
+    Telemetry.Counter.set (Telemetry.gauge tele "compiled_atoms") s.atoms;
+    Telemetry.Counter.set (Telemetry.gauge tele "compiled_states") s.states;
+    Telemetry.Counter.set (Telemetry.gauge tele "compiled_symbols") s.symbols;
+    Telemetry.Counter.set (Telemetry.counter tele "compiled_hits") s.hits;
+    Telemetry.Counter.set (Telemetry.counter tele "compiled_misses") s.misses
+  in
+  { Shex.Validate.compile_shape; cache_stats; export_stats }
 
 let install () = Shex.Validate.set_compiled_backend backend
 

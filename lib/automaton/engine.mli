@@ -6,7 +6,11 @@
     backend instance: one lazy {!Dfa} per shape label, compiled on
     first use and shared across all nodes of the session, with
     {!Shex.Validate.compiled_stats} reporting the summed cache
-    counters.
+    counters and the backend's [export_stats] folding the same sums
+    into a session's {!Telemetry} registry (gauges
+    [compiled_atoms]/[compiled_states]/[compiled_symbols], counters
+    [compiled_hits]/[compiled_misses]) for the unified
+    {!Shex.Validate.metrics} snapshot.
 
     [install] runs automatically when the library is linked (it is
     built with [-linkall]), so merely listing [shex_automaton] among an

@@ -2,6 +2,21 @@ type check_ref = Label.t -> Rdf.Term.t -> bool
 
 let no_refs : check_ref = fun _ _ -> false
 
+type instruments = {
+  tele : Telemetry.t;
+  branches : Telemetry.Counter.t;
+  decompositions : Telemetry.Counter.t;
+}
+
+let instruments tele =
+  {
+    tele;
+    branches = Telemetry.counter tele "backtrack_branches";
+    decompositions = Telemetry.counter tele "backtrack_decompositions";
+  }
+
+let no_instruments = instruments Telemetry.disabled
+
 (* All ordered pairs (l, r) of disjoint sublists whose union is the
    input — the list counterpart of Graph.decompositions.  Pairs come
    in Example 3's order, ({}, everything) first, so the left component
@@ -29,32 +44,44 @@ let arc_matches ~check_ref (a : Rse.arc) (dt : Neigh.dtriple) =
       in
       check_ref l far
 
-let matches_counted ~check_ref dts e =
+let matches_counted ~check_ref ~instr dts e =
   let work = ref 0 in
+  let counting = Telemetry.Counter.active instr.branches in
+  (* Each [decompose] call materialises every ordered pair — Example
+     3's 2ⁿ — so the length walk below is already amortised; it is
+     still skipped on the disabled path. *)
+  let decompositions dts =
+    let pairs = decompose dts in
+    if counting then
+      Telemetry.Counter.add instr.decompositions (List.length pairs);
+    pairs
+  in
   let rec go (e : Rse.t) dts =
     incr work;
+    if counting then Telemetry.Counter.incr instr.branches;
     match e with
     | Empty -> false
     | Epsilon -> dts = []
     | Arc a -> ( match dts with [ dt ] -> arc_matches ~check_ref a dt | _ -> false)
     | Or (e1, e2) -> go e1 dts || go e2 dts
     | And (e1, e2) ->
-        List.exists (fun (g1, g2) -> go e1 g1 && go e2 g2) (decompose dts)
+        List.exists (fun (g1, g2) -> go e1 g1 && go e2 g2) (decompositions dts)
     | Star inner ->
         dts = []
         || List.exists
              (fun (g1, g2) -> g1 <> [] && go inner g1 && go e g2)
-             (decompose dts)
+             (decompositions dts)
     | Not inner -> not (go inner dts)
   in
   let result = go e dts in
   (result, !work)
 
-let matches_list ?(check_ref = no_refs) dts e =
-  fst (matches_counted ~check_ref dts e)
+let matches_list ?(check_ref = no_refs) ?(instr = no_instruments) dts e =
+  fst (matches_counted ~check_ref ~instr dts e)
 
-let matches_count ?(check_ref = no_refs) n g e =
+let matches_count ?(check_ref = no_refs) ?(instr = no_instruments) n g e =
   let dts = Neigh.of_node ~include_inverse:(Rse.has_inverse e) n g in
-  matches_counted ~check_ref dts e
+  matches_counted ~check_ref ~instr dts e
 
-let matches ?check_ref n g e = fst (matches_count ?check_ref n g e)
+let matches ?check_ref ?instr n g e =
+  fst (matches_count ?check_ref ?instr n g e)

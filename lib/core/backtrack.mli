@@ -11,17 +11,43 @@
 
 type check_ref = Label.t -> Rdf.Term.t -> bool
 
+(** {1 Telemetry}
+
+    The matcher reports [backtrack_branches] (one per inference-rule
+    application, the same quantity {!matches_count} returns) and
+    [backtrack_decompositions] (one per ordered pair generated while
+    splitting a neighbourhood for [‖] or [⋆] — Example 3's 2ⁿ). *)
+
+type instruments
+
+val instruments : Telemetry.t -> instruments
+val no_instruments : instruments
+
 val matches :
-  ?check_ref:check_ref -> Rdf.Term.t -> Rdf.Graph.t -> Rse.t -> bool
+  ?check_ref:check_ref ->
+  ?instr:instruments ->
+  Rdf.Term.t ->
+  Rdf.Graph.t ->
+  Rse.t ->
+  bool
 (** [matches n g e]: does Σgn (plus incoming arcs if [e] uses inverse
     arcs) satisfy [e] under the Fig. 1 rules? *)
 
 val matches_count :
-  ?check_ref:check_ref -> Rdf.Term.t -> Rdf.Graph.t -> Rse.t -> bool * int
+  ?check_ref:check_ref ->
+  ?instr:instruments ->
+  Rdf.Term.t ->
+  Rdf.Graph.t ->
+  Rse.t ->
+  bool * int
 (** Like {!matches} but also returns the number of rule applications
     explored — the work counter reported in experiment E1. *)
 
 val matches_list :
-  ?check_ref:check_ref -> Neigh.dtriple list -> Rse.t -> bool
+  ?check_ref:check_ref ->
+  ?instr:instruments ->
+  Neigh.dtriple list ->
+  Rse.t ->
+  bool
 (** Match an explicit neighbourhood (used by tests that exercise
     Example 8 directly). *)

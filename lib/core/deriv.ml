@@ -2,6 +2,43 @@ type check_ref = Label.t -> Rdf.Term.t -> bool
 
 let no_refs : check_ref = fun _ _ -> false
 
+type instruments = {
+  tele : Telemetry.t;
+  steps : Telemetry.Counter.t;
+  size_before : Telemetry.Histogram.t;
+  size_after : Telemetry.Histogram.t;
+}
+
+let instruments tele =
+  {
+    tele;
+    steps = Telemetry.counter tele "deriv_steps";
+    size_before = Telemetry.histogram tele "deriv_size_before";
+    size_after = Telemetry.histogram tele "deriv_size_after";
+  }
+
+let no_instruments = instruments Telemetry.disabled
+
+(* One derivative step's worth of accounting.  Only reached when the
+   registry is enabled, so the O(size) expression walks below never
+   run on the disabled path. *)
+let record instr n dt before after =
+  Telemetry.Counter.incr instr.steps;
+  Telemetry.Histogram.observe instr.size_before (Rse.size before);
+  Telemetry.Histogram.observe instr.size_after (Rse.size after);
+  if Telemetry.tracing instr.tele then
+    Telemetry.emit instr.tele
+      {
+        Telemetry.name = "deriv_step";
+        fields =
+          [ ("focus", Telemetry.String (Rdf.Term.to_string n));
+            ("triple", Telemetry.String (Format.asprintf "%a" Neigh.pp dt));
+            ("size_before", Telemetry.Int (Rse.size before));
+            ("size_after", Telemetry.Int (Rse.size after));
+            ("nullable", Telemetry.Bool (Rse.nullable after));
+            ("empty", Telemetry.Bool (Rse.equal after Rse.empty)) ];
+      }
+
 let arc_matches ~check_ref (a : Rse.arc) (dt : Neigh.dtriple) =
   match a.obj with
   | Rse.Values vo -> Neigh.arc_matches_values a vo dt
@@ -31,7 +68,7 @@ let deriv ?(ctors = Rse.smart_ctors) ?(check_ref = no_refs) dt e =
 let deriv_graph ?ctors ?check_ref dts e =
   List.fold_left (fun e dt -> deriv ?ctors ?check_ref dt e) e dts
 
-let matches ?ctors ?check_ref n g e =
+let matches ?ctors ?check_ref ?(instr = no_instruments) n g e =
   let dts = Neigh.of_node ~include_inverse:(Rse.has_inverse e) n g in
   (* Early exit on ∅ is sound only without negation: under ¬, ∅ can
      still become accepting. *)
@@ -40,6 +77,7 @@ let matches ?ctors ?check_ref n g e =
     | [] -> Rse.nullable e
     | dt :: rest ->
         let e' = deriv ?ctors ?check_ref dt e in
+        if Telemetry.Counter.active instr.steps then record instr n dt e e';
         if can_prune && Rse.equal e' Rse.empty then false
         else consume e' rest
   in
@@ -48,12 +86,13 @@ let matches ?ctors ?check_ref n g e =
 type step = { consumed : Neigh.dtriple; after : Rse.t }
 type trace = { initial : Rse.t; steps : step list; result : bool }
 
-let matches_trace ?ctors ?check_ref n g e =
+let matches_trace ?ctors ?check_ref ?(instr = no_instruments) n g e =
   let dts = Neigh.of_node ~include_inverse:(Rse.has_inverse e) n g in
   let final, rev_steps =
     List.fold_left
       (fun (e, acc) dt ->
         let e' = deriv ?ctors ?check_ref dt e in
+        if Telemetry.Counter.active instr.steps then record instr n dt e e';
         (e', { consumed = dt; after = e' } :: acc))
       (e, []) dts
   in
@@ -112,3 +151,20 @@ let explain_failure t =
              "all triples were consumed but obligations remain: the residual \
               expression %a is not nullable (some required arc is missing)"
              Rse.pp final)
+
+(* The structured form of a trace: what {!pp_trace} and
+   {!explain_failure} render is derived from these values, and
+   [--trace-json] streams the equivalent per-step events. *)
+let step_to_json s =
+  Json.Object
+    [ ("triple", Json.String (Format.asprintf "%a" Neigh.pp s.consumed));
+      ("after", Json.String (Rse.to_string s.after));
+      ("size_after", Json.int (Rse.size s.after));
+      ("nullable", Json.Bool (Rse.nullable s.after));
+      ("empty", Json.Bool (Rse.equal s.after Rse.empty)) ]
+
+let trace_to_json t =
+  Json.Object
+    [ ("initial", Json.String (Rse.to_string t.initial));
+      ("steps", Json.Array (List.map step_to_json t.steps));
+      ("result", Json.Bool t.result) ]

@@ -28,6 +28,23 @@ type check_ref = Label.t -> Rdf.Term.t -> bool
     [l].  The default refuses every reference (suitable for
     reference-free expressions). *)
 
+(** {1 Telemetry}
+
+    The matcher reports one [deriv_steps] increment per consumed
+    triple plus [deriv_size_before]/[deriv_size_after] histogram
+    observations (the E2/E5 growth measure), and — when the registry
+    has a sink — one structured [deriv_step] event per triple. *)
+
+type instruments
+
+val instruments : Telemetry.t -> instruments
+(** Resolve this module's counters in the given registry (once per
+    session, not per match). *)
+
+val no_instruments : instruments
+(** Inert instruments from {!Telemetry.disabled} — the default; each
+    step then costs one extra branch. *)
+
 val deriv :
   ?ctors:Rse.ctors ->
   ?check_ref:check_ref ->
@@ -49,6 +66,7 @@ val deriv_graph :
 val matches :
   ?ctors:Rse.ctors ->
   ?check_ref:check_ref ->
+  ?instr:instruments ->
   Rdf.Term.t ->
   Rdf.Graph.t ->
   Rse.t ->
@@ -75,6 +93,7 @@ type trace = {
 val matches_trace :
   ?ctors:Rse.ctors ->
   ?check_ref:check_ref ->
+  ?instr:instruments ->
   Rdf.Term.t ->
   Rdf.Graph.t ->
   Rse.t ->
@@ -89,3 +108,9 @@ val explain_failure : trace -> string option
     broke: either the triple whose derivative collapsed to ∅, or the
     residual obligations left unfulfilled.  [None] if the trace
     succeeded. *)
+
+val step_to_json : step -> Json.t
+val trace_to_json : trace -> Json.t
+(** The machine-readable form of a trace — the structured source both
+    {!explain_failure} and the CLI's [--trace-json] stream render
+    from. *)

@@ -68,7 +68,7 @@ let to_result_shape_map t =
            (Label.to_string e.label))
        t.entries)
 
-let to_json t =
+let to_json ?metrics t =
   let entry_json e =
     Json.Object
       ([ ("node", Json.String (Rdf.Term.to_string e.node));
@@ -84,6 +84,12 @@ let to_json t =
       | None -> [])
   in
   Json.Object
-    [ ("entries", Json.Array (List.map entry_json t.entries));
-      ("conformant", Json.int (List.length (conformant t)));
-      ("nonconformant", Json.int (List.length (nonconformant t))) ]
+    ([ ("entries", Json.Array (List.map entry_json t.entries));
+       ("conformant", Json.int (List.length (conformant t)));
+       ("nonconformant", Json.int (List.length (nonconformant t))) ]
+    @
+    (* Appended last so existing consumers of the report keys are
+       untouched when no snapshot is supplied. *)
+    match metrics with
+    | Some snap -> [ ("metrics", Telemetry.to_json snap) ]
+    | None -> [])

@@ -41,6 +41,9 @@ val to_result_shape_map : t -> string
 (** The ShEx result-shape-map convention: [node@<S>] for conformant
     entries, [node@!<S>] for nonconformant ones, comma-separated. *)
 
-val to_json : t -> Json.t
+val to_json : ?metrics:Telemetry.snapshot -> t -> Json.t
 (** [{ "entries": [ {"node": …, "shape": …, "status": "conformant",
-    "reason": …}, … ], "conformant": n, "nonconformant": m }]. *)
+    "reason": …}, … ], "conformant": n, "nonconformant": m }].  With
+    [?metrics] (the CLI's [--json --metrics=json] combination) a
+    final ["metrics"] member carries the session's
+    {!Validate.metrics} snapshot. *)

@@ -2,6 +2,21 @@ type interval = { min : int; max : int option }
 type constr = { arc : Rse.arc; card : interval }
 type t = constr list
 
+type instruments = {
+  tele : Telemetry.t;
+  matches_run : Telemetry.Counter.t;
+  updates : Telemetry.Counter.t;
+}
+
+let instruments tele =
+  {
+    tele;
+    matches_run = Telemetry.counter tele "sorbe_matches";
+    updates = Telemetry.counter tele "sorbe_counter_updates";
+  }
+
+let no_instruments = instruments Telemetry.disabled
+
 let arc_equal (a : Rse.arc) (b : Rse.arc) =
   Value_set.pred_equal a.pred b.pred
   && Bool.equal a.inverse b.inverse
@@ -59,7 +74,9 @@ let to_rse t =
            (Rse.arc ~inverse:c.arc.inverse c.arc.pred c.arc.obj))
        t)
 
-let matches ?(check_ref = fun _ _ -> false) n g t =
+let matches ?(check_ref = fun _ _ -> false) ?(instr = no_instruments) n g t =
+  Telemetry.Counter.incr instr.matches_run;
+  let counting = Telemetry.Counter.active instr.updates in
   let include_inverse = List.exists (fun c -> c.arc.inverse) t in
   let dts = Neigh.of_node ~include_inverse n g in
   let counts = Array.make (List.length t) 0 in
@@ -85,6 +102,7 @@ let matches ?(check_ref = fun _ _ -> false) n g t =
         then
           if obj_ok c.arc far then begin
             counts.(i) <- counts.(i) + 1;
+            if counting then Telemetry.Counter.incr instr.updates;
             true
           end
           else false (* the only possible owner rejects the object *)

@@ -36,8 +36,20 @@ val to_rse : t -> Rse.t
 (** The equivalent general regular shape expression, via
     {!Rse.repeat}. *)
 
+(** {1 Telemetry}
+
+    The matcher reports [sorbe_matches] (calls) and
+    [sorbe_counter_updates] (one per triple attributed to a
+    constraint's tally). *)
+
+type instruments
+
+val instruments : Telemetry.t -> instruments
+val no_instruments : instruments
+
 val matches :
   ?check_ref:(Label.t -> Rdf.Term.t -> bool) ->
+  ?instr:instruments ->
   Rdf.Term.t ->
   Rdf.Graph.t ->
   t ->

@@ -33,6 +33,10 @@ type compiled_matcher =
 type compiled_backend = {
   compile_shape : Rse.t -> compiled_matcher;
   cache_stats : unit -> cache_stats;
+  export_stats : Telemetry.t -> unit;
+      (* fold the automaton cache counters into a registry (gauges
+         compiled_atoms/states/symbols, counters compiled_hits/misses)
+         so --engine-stats and --metrics are one code path *)
 }
 
 let compiled_backend_factory : (unit -> compiled_backend) option ref =
@@ -52,9 +56,17 @@ type session = {
       (* per-label compilation: SORBE counting matcher or lazy DFA *)
   backend : compiled_backend option;
       (* session-wide automaton store (Compiled, and Auto's fallback) *)
+  tele : Telemetry.t;
+  deriv_instr : Deriv.instruments;
+  back_instr : Backtrack.instruments;
+  sorbe_instr : Sorbe.instruments;
+  fix_evals : Telemetry.Counter.t;    (* fixpoint_iterations *)
+  fix_flips : Telemetry.Counter.t;    (* fixpoint_flips *)
+  fix_demands : Telemetry.Counter.t;  (* fixpoint_demands *)
 }
 
-let session ?(engine = Derivatives) schema graph =
+let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled) schema
+    graph =
   let backend =
     match (engine, !compiled_backend_factory) with
     | (Compiled | Auto), Some make -> Some (make ())
@@ -67,7 +79,18 @@ let session ?(engine = Derivatives) schema graph =
   { engine; schema; graph;
     proven = Hashtbl.create 256;
     compiled = Hashtbl.create 16;
-    backend }
+    backend;
+    tele = telemetry;
+    (* Instruments are resolved once here; on the default (disabled)
+       registry every later use is a single branch. *)
+    deriv_instr = Deriv.instruments telemetry;
+    back_instr = Backtrack.instruments telemetry;
+    sorbe_instr = Sorbe.instruments telemetry;
+    fix_evals = Telemetry.counter telemetry "fixpoint_iterations";
+    fix_flips = Telemetry.counter telemetry "fixpoint_flips";
+    fix_demands = Telemetry.counter telemetry "fixpoint_demands" }
+
+let telemetry st = st.tele
 
 let compile st l e =
   match Hashtbl.find_opt st.compiled l with
@@ -90,6 +113,15 @@ let compile st l e =
       c
 
 let compiled_stats st = Option.map (fun b -> b.cache_stats ()) st.backend
+
+(* The unified snapshot: engine counters live in the registry already;
+   the automaton backend's pull-style cache counters are folded in at
+   read time so one exposition covers every engine. *)
+let metrics st =
+  (match st.backend with
+  | Some b when Telemetry.enabled st.tele -> b.export_stats st.tele
+  | Some _ | None -> ());
+  Telemetry.snapshot st.tele
 
 type outcome = { ok : bool; typing : Typing.t; reason : string option }
 
@@ -126,17 +158,22 @@ let rec evaluate st ~value ~demand ((n, l) : Pair.t) =
       in
       let ok =
         match st.engine with
-        | Derivatives -> Deriv.matches ~check_ref n st.graph e
-        | Backtracking -> Backtrack.matches ~check_ref n st.graph e
+        | Derivatives ->
+            Deriv.matches ~check_ref ~instr:st.deriv_instr n st.graph e
+        | Backtracking ->
+            Backtrack.matches ~check_ref ~instr:st.back_instr n st.graph e
         | Auto | Compiled -> (
             (* Per-label compilation (experiments E4, E9): Auto uses
                the linear counting matcher when the shape is in the
                single-occurrence fragment and the lazy DFA otherwise;
                Compiled always uses the DFA. *)
             match compile st l e with
-            | Counting sorbe -> Sorbe.matches ~check_ref n st.graph sorbe
+            | Counting sorbe ->
+                Sorbe.matches ~check_ref ~instr:st.sorbe_instr n st.graph
+                  sorbe
             | Table matcher -> matcher ~check_ref n st.graph
-            | Generic -> Deriv.matches ~check_ref n st.graph e)
+            | Generic ->
+                Deriv.matches ~check_ref ~instr:st.deriv_instr n st.graph e)
       in
       (ok, !used)
 
@@ -156,6 +193,7 @@ and solve st root =
     let queue = Queue.create () in
     let demand p =
       if not (Hashtbl.mem value p) then begin
+        Telemetry.Counter.incr st.fix_demands;
         Hashtbl.replace value p true;
         Queue.add p queue
       end
@@ -165,6 +203,7 @@ and solve st root =
       let p = Queue.pop queue in
       (* A pair already settled false needs no re-evaluation. *)
       if Hashtbl.find value p then begin
+        Telemetry.Counter.incr st.fix_evals;
         let ok, used =
           evaluate st ~value:(fun q -> Hashtbl.find value q) ~demand p
         in
@@ -178,6 +217,7 @@ and solve st root =
             Hashtbl.replace dependents q (Pair_set.add p prev))
           used;
         if not ok then begin
+          Telemetry.Counter.incr st.fix_flips;
           Hashtbl.replace value p false;
           match Hashtbl.find_opt dependents p with
           | None -> ()

@@ -45,7 +45,33 @@ type engine =
 
 type session
 
-val session : ?engine:engine -> Schema.t -> Rdf.Graph.t -> session
+val session :
+  ?engine:engine ->
+  ?telemetry:Telemetry.t ->
+  Schema.t ->
+  Rdf.Graph.t ->
+  session
+(** [telemetry] (default {!Telemetry.disabled}) receives every engine
+    counter of the session: [deriv_steps] and the
+    [deriv_size_before]/[deriv_size_after] histograms from the
+    derivative matcher, [backtrack_branches] and
+    [backtrack_decompositions] from the Fig.-1 baseline,
+    [sorbe_matches]/[sorbe_counter_updates] from the counting matcher,
+    and [fixpoint_iterations]/[fixpoint_flips]/[fixpoint_demands] from
+    the greatest-fixpoint solver.  Instruments are resolved once at
+    session creation; with the default registry each instrumentation
+    point costs a single branch (experiment E10). *)
+
+val telemetry : session -> Telemetry.t
+
+val metrics : session -> Telemetry.snapshot
+(** The session's unified metrics snapshot.  Engine counters are read
+    from the registry; when the session holds an automaton backend its
+    cache counters are folded in first (gauges
+    [compiled_atoms]/[compiled_states]/[compiled_symbols], counters
+    [compiled_hits]/[compiled_misses]) — so the snapshot covers
+    whatever engine actually ran.  Empty when telemetry is
+    disabled. *)
 
 (** {1 Compiled-engine backend}
 
@@ -78,6 +104,10 @@ type compiled_matcher =
 type compiled_backend = {
   compile_shape : Rse.t -> compiled_matcher;
   cache_stats : unit -> cache_stats;
+  export_stats : Telemetry.t -> unit;
+      (** fold the cache counters into a registry as
+          [compiled_*] gauges/counters — called by {!metrics} so the
+          unified snapshot includes the automaton cache *)
 }
 
 val set_compiled_backend : (unit -> compiled_backend) -> unit

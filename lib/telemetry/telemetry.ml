@@ -1,0 +1,271 @@
+module Counter = struct
+  type kind = Monotonic | Gauge
+
+  type t = { name : string; kind : kind; mutable v : int; active : bool }
+
+  let incr c = if c.active then c.v <- c.v + 1
+  let add c n = if c.active then c.v <- c.v + n
+  let set c n = if c.active then c.v <- n
+  let value c = c.v
+  let active c = c.active
+end
+
+module Histogram = struct
+  (* Fixed log2 buckets: counts.(i) holds observations v with
+     2^(i-1) < v <= 2^i (i = 0 collects v <= 1); the last slot is the
+     overflow bucket for v > 2^30.  Rendering accumulates, so the
+     stored representation stays one increment per observation. *)
+  let n_buckets = 32
+
+  type t = {
+    name : string;
+    counts : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable max : int;
+    active : bool;
+  }
+
+  let bucket_index v =
+    if v <= 1 then 0
+    else
+      let rec go i le = if v <= le || i = n_buckets - 1 then i else go (i + 1) (le * 2) in
+      go 0 1
+
+  let observe h v =
+    if h.active then begin
+      h.counts.(bucket_index v) <- h.counts.(bucket_index v) + 1;
+      h.count <- h.count + 1;
+      h.sum <- h.sum + v;
+      if v > h.max then h.max <- v
+    end
+
+  let count h = h.count
+  let sum h = h.sum
+  let max_value h = h.max
+end
+
+module Span = struct
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable total : float;
+    active : bool;
+  }
+
+  let time s f =
+    if not s.active then f ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          s.total <- s.total +. (Unix.gettimeofday () -. t0);
+          s.count <- s.count + 1)
+        f
+    end
+
+  let count s = s.count
+  let total s = s.total
+end
+
+type value = Int of int | Float of float | Bool of bool | String of string
+type event = { name : string; fields : (string * value) list }
+
+type t = {
+  on : bool;
+  counters : (string, Counter.t) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+  spans : (string, Span.t) Hashtbl.t;
+  mutable sink : (event -> unit) option;
+}
+
+let make on =
+  {
+    on;
+    counters = Hashtbl.create 16;
+    histograms = Hashtbl.create 8;
+    spans = Hashtbl.create 8;
+    sink = None;
+  }
+
+let create () = make true
+let disabled = make false
+let enabled t = t.on
+
+(* Get-or-create.  A disabled registry hands out inert instruments
+   without registering them, so the shared [disabled] registry never
+   accumulates state. *)
+let make_counter t kind name =
+  if not t.on then { Counter.name; kind; v = 0; active = false }
+  else
+    match Hashtbl.find_opt t.counters name with
+    | Some c -> c
+    | None ->
+        let c = { Counter.name; kind; v = 0; active = true } in
+        Hashtbl.replace t.counters name c;
+        c
+
+let counter t name = make_counter t Counter.Monotonic name
+let gauge t name = make_counter t Counter.Gauge name
+
+let histogram t name =
+  if not t.on then
+    { Histogram.name; counts = Array.make Histogram.n_buckets 0;
+      count = 0; sum = 0; max = 0; active = false }
+  else
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          { Histogram.name; counts = Array.make Histogram.n_buckets 0;
+            count = 0; sum = 0; max = 0; active = true }
+        in
+        Hashtbl.replace t.histograms name h;
+        h
+
+let span t name =
+  if not t.on then { Span.name; count = 0; total = 0.; active = false }
+  else
+    match Hashtbl.find_opt t.spans name with
+    | Some s -> s
+    | None ->
+        let s = { Span.name; count = 0; total = 0.; active = true } in
+        Hashtbl.replace t.spans name s;
+        s
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let set_sink t sink = if t.on then t.sink <- sink
+let tracing t = t.on && Option.is_some t.sink
+
+let emit t ev =
+  match t.sink with Some f when t.on -> f ev | Some _ | None -> ()
+
+let value_to_json = function
+  | Int i -> Json.int i
+  | Float f -> Json.Number f
+  | Bool b -> Json.Bool b
+  | String s -> Json.String s
+
+let event_to_json ev =
+  Json.Object
+    (("event", Json.String ev.name)
+    :: List.map (fun (k, v) -> (k, value_to_json v)) ev.fields)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type histo_data = {
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+  h_buckets : (int * int) list;  (* (le bound, count in that bucket) *)
+}
+
+type snapshot = {
+  s_counters : (string * int) list;  (* monotonic, sorted by name *)
+  s_gauges : (string * int) list;
+  s_histograms : (string * histo_data) list;
+  s_spans : (string * (int * float)) list;  (* count, total seconds *)
+}
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun name v acc -> (name, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot t =
+  let counters, gauges =
+    Hashtbl.fold
+      (fun name (c : Counter.t) (cs, gs) ->
+        match c.kind with
+        | Counter.Monotonic -> ((name, c.v) :: cs, gs)
+        | Counter.Gauge -> (cs, (name, c.v) :: gs))
+      t.counters ([], [])
+  in
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    s_counters = List.sort by_name counters;
+    s_gauges = List.sort by_name gauges;
+    s_histograms =
+      sorted_bindings t.histograms (fun (h : Histogram.t) ->
+          let buckets = ref [] in
+          for i = Histogram.n_buckets - 1 downto 0 do
+            if h.counts.(i) > 0 then
+              buckets := (1 lsl i, h.counts.(i)) :: !buckets
+          done;
+          { h_count = h.count; h_sum = h.sum; h_max = h.max;
+            h_buckets = !buckets });
+    s_spans = sorted_bindings t.spans (fun (s : Span.t) -> (s.count, s.total));
+  }
+
+let is_empty s =
+  s.s_counters = [] && s.s_gauges = [] && s.s_histograms = []
+  && s.s_spans = []
+
+let counters s =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (s.s_counters @ s.s_gauges)
+let find_counter s name = List.assoc_opt name (counters s)
+
+let to_json s =
+  let ints kvs = Json.Object (List.map (fun (k, v) -> (k, Json.int v)) kvs) in
+  let histo (name, h) =
+    ( name,
+      Json.Object
+        [ ("count", Json.int h.h_count);
+          ("sum", Json.int h.h_sum);
+          ("max", Json.int h.h_max);
+          ( "buckets",
+            Json.Object
+              (List.map
+                 (fun (le, n) -> (string_of_int le, Json.int n))
+                 h.h_buckets) ) ] )
+  in
+  let span (name, (count, total)) =
+    ( name,
+      Json.Object
+        [ ("count", Json.int count); ("seconds", Json.Number total) ] )
+  in
+  Json.Object
+    [ ("counters", ints s.s_counters);
+      ("gauges", ints s.s_gauges);
+      ("histograms", Json.Object (List.map histo s.s_histograms));
+      ("spans", Json.Object (List.map span s.s_spans)) ]
+
+let pp_text ppf s =
+  let metric kind name v =
+    Format.fprintf ppf "# TYPE shex_%s %s@.shex_%s %d@." name kind name v
+  in
+  (* Counters and gauges interleave in one sorted sequence so the
+     exposition order is independent of instrument kind. *)
+  let ints =
+    List.sort
+      (fun (a, _, _) (b, _, _) -> String.compare a b)
+      (List.map (fun (n, v) -> (n, "counter", v)) s.s_counters
+      @ List.map (fun (n, v) -> (n, "gauge", v)) s.s_gauges)
+  in
+  List.iter (fun (name, kind, v) -> metric kind name v) ints;
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf ppf "# TYPE shex_%s histogram@." name;
+      let cumulative = ref 0 in
+      List.iter
+        (fun (le, n) ->
+          cumulative := !cumulative + n;
+          Format.fprintf ppf "shex_%s_bucket{le=\"%d\"} %d@." name le
+            !cumulative)
+        h.h_buckets;
+      Format.fprintf ppf "shex_%s_bucket{le=\"+Inf\"} %d@." name h.h_count;
+      Format.fprintf ppf "shex_%s_sum %d@." name h.h_sum;
+      Format.fprintf ppf "shex_%s_count %d@." name h.h_count)
+    s.s_histograms;
+  List.iter
+    (fun (name, (count, total)) ->
+      Format.fprintf ppf "# TYPE shex_%s_seconds summary@." name;
+      Format.fprintf ppf "shex_%s_seconds_count %d@." name count;
+      Format.fprintf ppf "shex_%s_seconds_sum %.6f@." name total)
+    s.s_spans

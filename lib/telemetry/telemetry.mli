@@ -1,0 +1,147 @@
+(** Session telemetry: a zero-dependency metrics registry.
+
+    The paper's central empirical claim — “the derivatives algorithm
+    behaves much better than the backtracking one” (§8, §10) — is
+    stated without tables, so this reproduction generates its own
+    evidence.  Every engine (derivatives, backtracking, SORBE
+    counting, compiled automata) and the fixpoint solver report their
+    work through one registry:
+
+    - {e counters} — monotonic event counts (derivative steps taken,
+      backtracking branches explored, …) and {e gauges} — set-valued
+      readings (compiled-automaton states materialised, …);
+    - {e histograms} — integer distributions over fixed log2 buckets
+      (expression sizes before/after simplification);
+    - {e spans} — wall-clock timing sections ([Unix.gettimeofday]);
+    - an {e event sink} — structured per-step events (the machine
+      readable derivative traces behind [--trace-json]).
+
+    The registry is deliberately below [Shex] in the dependency order:
+    core engines report into it, it never calls back into them.
+
+    {b Cost when disabled.}  Instruments created from {!disabled} are
+    permanently inactive: every operation is a single load-and-branch
+    on the instrument's [active] flag (measured in experiment E10).
+    Instrumented code should guard any {e argument} computation that
+    is itself costly (e.g. an expression-size walk) behind {!enabled}
+    or {!Counter.active}. *)
+
+type t
+(** A metrics registry.  Not thread-safe; intended to be owned by one
+    validation session or one benchmark experiment. *)
+
+val create : unit -> t
+(** A fresh, enabled registry. *)
+
+val disabled : t
+(** The shared inert registry: instruments created from it never
+    record, and {!snapshot} of it is empty.  This is the default
+    registry of every {!Shex.Validate.session}. *)
+
+val enabled : t -> bool
+
+(** {1 Instruments}
+
+    All creation functions are get-or-create by name: asking twice for
+    the same name returns the same instrument, so independent modules
+    can share a metric.  On {!disabled} they return inert instruments
+    without registering anything. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val set : t -> int -> unit
+  (** For gauges: overwrite the reading. *)
+
+  val value : t -> int
+
+  val active : t -> bool
+  (** [false] exactly for instruments of {!disabled} registries — the
+      single branch the hot paths test. *)
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> int -> unit
+  (** Record one integer observation.  Buckets are fixed powers of
+      two: observation [v] lands in the first bucket [le = 2^i] with
+      [v <= 2^i] (values above [2^30] land in the overflow bucket). *)
+
+  val count : t -> int
+  val sum : t -> int
+  val max_value : t -> int
+end
+
+module Span : sig
+  type t
+
+  val time : t -> (unit -> 'a) -> 'a
+  (** Run the thunk, accumulating its wall-clock duration
+      ([Unix.gettimeofday]) and bumping the span's run count.  On an
+      inactive span this is just the call. *)
+
+  val count : t -> int
+  val total : t -> float
+end
+
+val counter : t -> string -> Counter.t
+val gauge : t -> string -> Counter.t
+val histogram : t -> string -> Histogram.t
+val span : t -> string -> Span.t
+
+(** {1 Structured events}
+
+    The sink receives one {!event} per emission — the derivative
+    engines emit one per consumed triple, which is the machine
+    readable form of the paper's step-by-step traces (Examples
+    11–12). *)
+
+type value = Int of int | Float of float | Bool of bool | String of string
+type event = { name : string; fields : (string * value) list }
+
+val set_sink : t -> (event -> unit) option -> unit
+
+val tracing : t -> bool
+(** [true] when the registry is enabled {e and} a sink is installed —
+    the guard instrumented code tests before building event fields. *)
+
+val emit : t -> event -> unit
+(** Deliver to the sink; a no-op unless {!tracing}. *)
+
+val event_to_json : event -> Json.t
+(** [{"event": name, field₁: v₁, …}] with fields in emission order. *)
+
+(** {1 Snapshots}
+
+    A snapshot is an immutable, deterministically ordered (sorted by
+    metric name) copy of the registry — the value behind
+    [--metrics], [--engine-stats] and the bench [telemetry] JSON
+    objects. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val is_empty : snapshot -> bool
+(** No instruments registered (in particular: any snapshot of
+    {!disabled}). *)
+
+val counters : snapshot -> (string * int) list
+(** Counters and gauges, sorted by name. *)
+
+val find_counter : snapshot -> string -> int option
+
+val to_json : snapshot -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...},
+    "spans": {...}}], every object sorted by key.  Histograms render
+    as [{"count", "sum", "max", "buckets"}] with non-empty buckets
+    keyed by their [le] bound; spans as [{"count", "seconds"}]. *)
+
+val pp_text : Format.formatter -> snapshot -> unit
+(** Prometheus-style text exposition: [# TYPE] comment lines,
+    [shex_]-prefixed metric names, cumulative [_bucket{le="..."}]
+    lines for histograms, [_sum]/[_count] for histograms and spans. *)

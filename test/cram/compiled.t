@@ -6,25 +6,61 @@ repository's data/ example — same verdicts as the default engine:
   <http://example.org/bob> ↦ {<Person>}
   <http://example.org/john> ↦ {<Person>}
 
-A single-node check, with the cache counters on stderr.  The Person
-shape compiles to 3 atoms; checking john touches only a few states and
-already reuses transitions:
+A single-node check, with the unified telemetry snapshot on stderr:
+the automaton cache counters are folded into the same registry as the
+engine counters (--engine-stats and --metrics are one code path).
+The Person shape compiles to 3 atoms; checking john touches only a
+few states and already reuses transitions (8 hits, 4 misses):
 
   $ shex-validate --schema ../../data/person.shex \
   >   --data ../../data/people.ttl \
   >   --node http://example.org/john --shape Person \
-  >   --engine compiled --engine-stats
-  engine cache: 3 atoms, 3 states, 3 symbols, 12 steps (8 hits, 4 misses, 66.7% cached)
+  >   --engine compiled --engine-stats 2>&1 | grep -v "size_before\|size_after"
+  # TYPE shex_backtrack_branches counter
+  shex_backtrack_branches 0
+  # TYPE shex_backtrack_decompositions counter
+  shex_backtrack_decompositions 0
+  # TYPE shex_compiled_atoms gauge
+  shex_compiled_atoms 3
+  # TYPE shex_compiled_hits counter
+  shex_compiled_hits 8
+  # TYPE shex_compiled_misses counter
+  shex_compiled_misses 4
+  # TYPE shex_compiled_states gauge
+  shex_compiled_states 3
+  # TYPE shex_compiled_symbols gauge
+  shex_compiled_symbols 3
+  # TYPE shex_deriv_steps counter
+  shex_deriv_steps 0
+  # TYPE shex_fixpoint_demands counter
+  shex_fixpoint_demands 2
+  # TYPE shex_fixpoint_flips counter
+  shex_fixpoint_flips 0
+  # TYPE shex_fixpoint_iterations counter
+  shex_fixpoint_iterations 2
+  # TYPE shex_sorbe_counter_updates counter
+  shex_sorbe_counter_updates 0
+  # TYPE shex_sorbe_matches counter
+  shex_sorbe_matches 0
   PASS <http://example.org/john>@<Person>
   1 conformant, 0 nonconformant
 
 Whole-graph validation shares one transition table across all nodes,
-so most steps are answered from cache:
+so most steps are answered from cache (12 hits, 5 misses):
 
   $ shex-validate --schema ../../data/person.shex \
   >   --data ../../data/people.ttl \
-  >   --engine compiled --engine-stats --quiet
-  engine cache: 3 atoms, 4 states, 3 symbols, 17 steps (12 hits, 5 misses, 70.6% cached)
+  >   --engine compiled --engine-stats --quiet 2>&1 | grep compiled
+  # TYPE shex_compiled_atoms gauge
+  shex_compiled_atoms 3
+  # TYPE shex_compiled_hits counter
+  shex_compiled_hits 12
+  # TYPE shex_compiled_misses counter
+  shex_compiled_misses 5
+  # TYPE shex_compiled_states gauge
+  shex_compiled_states 4
+  # TYPE shex_compiled_symbols gauge
+  shex_compiled_symbols 3
 
 Nonconformance still explains itself (the reason comes from the
 derivative trace, independent of the matching engine):

@@ -1,0 +1,169 @@
+Telemetry flags on the paper's Examples 1-2 fixture (same setup as
+validate.t):
+
+  $ cat > person.shex <<'SCHEMA'
+  > PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+  > PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+  > <Person> {
+  >   foaf:age xsd:integer
+  >   , foaf:name xsd:string+
+  >   , foaf:knows @<Person>*
+  > }
+  > SCHEMA
+
+  $ cat > people.ttl <<'DATA'
+  > @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+  > @prefix : <http://example.org/> .
+  > :john foaf:age 23; foaf:name "John"; foaf:knows :bob .
+  > :bob foaf:age 34; foaf:name "Bob", "Robert" .
+  > :mary foaf:age 50, 65 .
+  > DATA
+
+--metrics text prints a Prometheus-style exposition of the session's
+registry.  Under the default derivatives engine the work shows up as
+deriv_steps plus the expression-size histograms; the other engines'
+counters exist but stay at zero:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/john --shape Person --metrics text --quiet
+  # TYPE shex_backtrack_branches counter
+  shex_backtrack_branches 0
+  # TYPE shex_backtrack_decompositions counter
+  shex_backtrack_decompositions 0
+  # TYPE shex_deriv_steps counter
+  shex_deriv_steps 12
+  # TYPE shex_fixpoint_demands counter
+  shex_fixpoint_demands 2
+  # TYPE shex_fixpoint_flips counter
+  shex_fixpoint_flips 0
+  # TYPE shex_fixpoint_iterations counter
+  shex_fixpoint_iterations 2
+  # TYPE shex_sorbe_counter_updates counter
+  shex_sorbe_counter_updates 0
+  # TYPE shex_sorbe_matches counter
+  shex_sorbe_matches 0
+  # TYPE shex_deriv_size_after histogram
+  shex_deriv_size_after_bucket{le="8"} 6
+  shex_deriv_size_after_bucket{le="16"} 12
+  shex_deriv_size_after_bucket{le="+Inf"} 12
+  shex_deriv_size_after_sum 96
+  shex_deriv_size_after_count 12
+  # TYPE shex_deriv_size_before histogram
+  shex_deriv_size_before_bucket{le="8"} 6
+  shex_deriv_size_before_bucket{le="16"} 12
+  shex_deriv_size_before_bucket{le="+Inf"} 12
+  shex_deriv_size_before_sum 96
+  shex_deriv_size_before_count 12
+
+The same check under the backtracking engine: branches and
+decompositions are counted instead, and deriv_steps stays zero — the
+acceptance contrast between the Fig. 1 baseline and §6-7:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/john --shape Person \
+  >   --engine backtracking --metrics json --quiet
+  {
+    "counters": {
+      "backtrack_branches": 52,
+      "backtrack_decompositions": 68,
+      "deriv_steps": 0,
+      "fixpoint_demands": 2,
+      "fixpoint_flips": 0,
+      "fixpoint_iterations": 2,
+      "sorbe_counter_updates": 0,
+      "sorbe_matches": 0
+    },
+    "gauges": {},
+    "histograms": {
+      "deriv_size_after": {
+        "count": 0,
+        "sum": 0,
+        "max": 0,
+        "buckets": {}
+      },
+      "deriv_size_before": {
+        "count": 0,
+        "sum": 0,
+        "max": 0,
+        "buckets": {}
+      }
+    },
+    "spans": {}
+  }
+
+With --json the snapshot is embedded as a final "metrics" member of
+the report, after the existing keys:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/mary --shape Person \
+  >   --json --metrics json --quiet
+  {
+    "entries": [
+      {
+        "node": "<http://example.org/mary>",
+        "shape": "Person",
+        "status": "nonconformant",
+        "reason": "triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)"
+      }
+    ],
+    "conformant": 0,
+    "nonconformant": 1,
+    "metrics": {
+      "counters": {
+        "backtrack_branches": 0,
+        "backtrack_decompositions": 0,
+        "deriv_steps": 2,
+        "fixpoint_demands": 1,
+        "fixpoint_flips": 1,
+        "fixpoint_iterations": 1,
+        "sorbe_counter_updates": 0,
+        "sorbe_matches": 0
+      },
+      "gauges": {},
+      "histograms": {
+        "deriv_size_after": {
+          "count": 2,
+          "sum": 8,
+          "max": 7,
+          "buckets": {
+            "1": 1,
+            "8": 1
+          }
+        },
+        "deriv_size_before": {
+          "count": 2,
+          "sum": 16,
+          "max": 9,
+          "buckets": {
+            "8": 1,
+            "16": 1
+          }
+        }
+      },
+      "spans": {}
+    }
+  }
+  [1]
+
+--trace-json streams one machine-readable derivative step per line
+(the structured form of Examples 11-12; the fixpoint re-runs bob's
+match once per iteration, hence the repetition):
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/bob --shape Person \
+  >   --trace-json trace.jsonl --quiet
+  $ cat trace.jsonl
+  {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/age> \"34\"^^<http://www.w3.org/2001/XMLSchema#integer> .","size_before":9,"size_after":7,"nullable":false,"empty":false}
+  {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> \"Bob\" .","size_before":7,"size_after":9,"nullable":true,"empty":false}
+  {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> \"Robert\" .","size_before":9,"size_after":9,"nullable":true,"empty":false}
+  {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/age> \"34\"^^<http://www.w3.org/2001/XMLSchema#integer> .","size_before":9,"size_after":7,"nullable":false,"empty":false}
+  {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> \"Bob\" .","size_before":7,"size_after":9,"nullable":true,"empty":false}
+  {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> \"Robert\" .","size_before":9,"size_after":9,"nullable":true,"empty":false}
+
+--metrics requires an explicit format:
+
+  $ shex-validate --schema person.shex --data people.ttl --metrics
+  shex-validate: option '--metrics' needs an argument
+  Usage: shex-validate [OPTION]…
+  Try 'shex-validate --help' for more information.
+  [124]

@@ -1,0 +1,223 @@
+(* Telemetry registry unit tests, exact deterministic engine counters
+   (the 2^n decomposition blow-up of Example 3 vs the linear derivative
+   walk), and the guarantee that observation never changes verdicts. *)
+
+open Shex
+
+let get snap name =
+  match Telemetry.find_counter snap name with
+  | Some v -> v
+  | None -> Alcotest.failf "counter %S missing from snapshot" name
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  let tele = Telemetry.create () in
+  let c = Telemetry.counter tele "steps" in
+  Alcotest.(check bool) "active" true (Telemetry.Counter.active c);
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Telemetry.Counter.value c);
+  (* get-or-create: same name, same instrument *)
+  Telemetry.Counter.incr (Telemetry.counter tele "steps");
+  Alcotest.(check int) "shared" 6 (Telemetry.Counter.value c);
+  let g = Telemetry.gauge tele "states" in
+  Telemetry.Counter.set g 42;
+  Telemetry.Counter.set g 17;
+  let snap = Telemetry.snapshot tele in
+  Alcotest.(check int) "snapshot counter" 6 (get snap "steps");
+  Alcotest.(check int) "snapshot gauge" 17 (get snap "states");
+  Alcotest.(check (list (pair string int)))
+    "sorted names"
+    [ ("states", 17); ("steps", 6) ]
+    (Telemetry.counters snap)
+
+let test_disabled () =
+  let c = Telemetry.counter Telemetry.disabled "steps" in
+  Alcotest.(check bool) "inactive" false (Telemetry.Counter.active c);
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.add c 10;
+  Alcotest.(check int) "never records" 0 (Telemetry.Counter.value c);
+  Alcotest.(check bool) "not tracing" false (Telemetry.tracing Telemetry.disabled);
+  Alcotest.(check bool)
+    "empty snapshot" true
+    (Telemetry.is_empty (Telemetry.snapshot Telemetry.disabled))
+
+let test_histogram () =
+  let tele = Telemetry.create () in
+  let h = Telemetry.histogram tele "sizes" in
+  List.iter (Telemetry.Histogram.observe h) [ 1; 2; 9 ];
+  Alcotest.(check int) "count" 3 (Telemetry.Histogram.count h);
+  Alcotest.(check int) "sum" 12 (Telemetry.Histogram.sum h);
+  Alcotest.(check int) "max" 9 (Telemetry.Histogram.max_value h);
+  (* v lands in the first le = 2^i bucket with v <= 2^i *)
+  let buckets =
+    match
+      Json.find "histograms" (Telemetry.to_json (Telemetry.snapshot tele))
+    with
+    | Some hs -> (
+        match Json.find "sizes" hs with
+        | Some s -> Option.get (Json.find "buckets" s)
+        | None -> Alcotest.fail "histogram missing")
+    | None -> Alcotest.fail "histograms missing"
+  in
+  List.iter
+    (fun (le, n) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "bucket le=%s" le)
+        (Some n) (Json.find_int le buckets))
+    [ ("1", 1); ("2", 1); ("16", 1) ]
+
+let test_span_and_events () =
+  let tele = Telemetry.create () in
+  let s = Telemetry.span tele "work" in
+  let r = Telemetry.Span.time s (fun () -> 6 * 7) in
+  Alcotest.(check int) "span returns" 42 r;
+  Alcotest.(check int) "span count" 1 (Telemetry.Span.count s);
+  Alcotest.(check bool) "span total >= 0" true (Telemetry.Span.total s >= 0.0);
+  let seen = ref [] in
+  Alcotest.(check bool) "no sink" false (Telemetry.tracing tele);
+  Telemetry.set_sink tele (Some (fun ev -> seen := ev :: !seen));
+  Alcotest.(check bool) "sink installed" true (Telemetry.tracing tele);
+  let ev =
+    { Telemetry.name = "step";
+      fields = [ ("n", Telemetry.Int 3); ("ok", Telemetry.Bool true) ] }
+  in
+  Telemetry.emit tele ev;
+  Alcotest.(check int) "delivered" 1 (List.length !seen);
+  Alcotest.(check string)
+    "event json" {|{"event":"step","n":3,"ok":true}|}
+    (Json.to_string ~minify:true (Telemetry.event_to_json ev));
+  Telemetry.set_sink tele None;
+  Telemetry.emit tele ev;
+  Alcotest.(check int) "sink removed" 1 (List.length !seen)
+
+(* ------------------------------------------------------------------ *)
+(* Exact engine counters                                               *)
+(* ------------------------------------------------------------------ *)
+
+let deriv_counters n =
+  let tele = Telemetry.create () in
+  let ok =
+    Deriv.matches
+      ~instr:(Deriv.instruments tele)
+      Workload.Micro_gen.focus
+      (Workload.Micro_gen.example5_neighbourhood n)
+      (Workload.Micro_gen.example5_shape ())
+  in
+  Alcotest.(check bool) "valid neighbourhood" true ok;
+  Telemetry.snapshot tele
+
+(* The derivative engine consumes each of the n triples exactly once:
+   deriv_steps is linear by construction. *)
+let test_deriv_linear () =
+  List.iter
+    (fun n ->
+      let snap = deriv_counters n in
+      Alcotest.(check int)
+        (Printf.sprintf "deriv_steps n=%d" n)
+        n
+        (get snap "deriv_steps"))
+    [ 1; 3; 8; 16; 32 ]
+
+let backtrack_counters g =
+  let tele = Telemetry.create () in
+  let verdict =
+    Backtrack.matches
+      ~instr:(Backtrack.instruments tele)
+      Workload.Micro_gen.focus g
+      (Workload.Micro_gen.example5_shape ())
+  in
+  (verdict, Telemetry.snapshot tele)
+
+(* Example 3: a graph with 3 triples has 2^3 = 8 decompositions, and
+   the Fig. 1 matcher materialises all of them at the top-level ⊓
+   before trying branches.  On the failing neighbourhoods (no a-arc)
+   nothing prunes, so the decomposition count doubles with each extra
+   triple — the exponential the derivative engine avoids. *)
+let test_backtrack_exponential () =
+  let graphs =
+    List.map
+      (fun n -> (n, Workload.Micro_gen.example5_neighbourhood_invalid n))
+      [ 2; 3; 4; 5; 6 ]
+  in
+  List.iter
+    (fun (n, g) ->
+      let verdict, snap = backtrack_counters g in
+      Alcotest.(check bool)
+        (Printf.sprintf "invalid n=%d rejected" n)
+        false verdict;
+      let decomps = get snap "backtrack_decompositions" in
+      Alcotest.(check bool)
+        (Printf.sprintf "decompositions n=%d >= 2^n (got %d)" n decomps)
+        true
+        (decomps >= 1 lsl n))
+    graphs;
+  (* Exact values pin the doubling law down deterministically. *)
+  let exact =
+    List.map
+      (fun (n, g) -> (n, get (snd (backtrack_counters g)) "backtrack_decompositions"))
+      graphs
+  in
+  Alcotest.(check (list (pair int int)))
+    "exact decomposition counts"
+    [ (2, 4); (3, 8); (4, 16); (5, 32); (6, 64) ]
+    exact
+
+(* The same neighbourhood, side by side: Example 3's 3-triple graph
+   has 2^3 = 8 top-level decompositions, and the accepting run
+   materialises 6 more while unrolling the star over the {b1, b2}
+   part — 14 in total, versus 3 linear derivative steps. *)
+let test_example3_contrast () =
+  let g = Workload.Micro_gen.example5_neighbourhood 3 in
+  let verdict, snap = backtrack_counters g in
+  Alcotest.(check bool) "backtracking accepts" true verdict;
+  Alcotest.(check int) "2^3 top-level + 6 recursive decompositions" 14
+    (get snap "backtrack_decompositions");
+  let dsnap = deriv_counters 3 in
+  Alcotest.(check int) "3 derivative steps" 3 (get dsnap "deriv_steps");
+  Alcotest.(check int) "no derivative work in backtracking run" 0
+    (match Telemetry.find_counter snap "deriv_steps" with
+    | Some v -> v
+    | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry is observation-only                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_observation_only =
+  QCheck.Test.make ~count:300
+    ~name:"enabling telemetry never changes a verdict"
+    Test_props.arb_rse_graph
+    (fun (e, g) ->
+      QCheck.assume (Test_props.small_enough g);
+      let node = Rdf.Term.Iri (Rdf.Iri.of_string_exn "http://example.org/n") in
+      let tele = Telemetry.create () in
+      Telemetry.set_sink tele (Some ignore);
+      let instrumented_deriv =
+        Deriv.matches ~instr:(Deriv.instruments tele) node g e
+      in
+      let instrumented_back =
+        Backtrack.matches ~instr:(Backtrack.instruments tele) node g e
+      in
+      Bool.equal instrumented_deriv (Deriv.matches node g e)
+      && Bool.equal instrumented_back (Backtrack.matches node g e))
+
+let suites =
+  [ ( "telemetry.registry",
+      [ Alcotest.test_case "counters and gauges" `Quick test_counters;
+        Alcotest.test_case "disabled registry is inert" `Quick test_disabled;
+        Alcotest.test_case "histogram log2 buckets" `Quick test_histogram;
+        Alcotest.test_case "spans and event sink" `Quick test_span_and_events
+      ] );
+    ( "telemetry.engines",
+      [ Alcotest.test_case "derivative steps are linear" `Quick
+          test_deriv_linear;
+        Alcotest.test_case "backtracking decompositions are 2^n" `Quick
+          test_backtrack_exponential;
+        Alcotest.test_case "Example 3 contrast" `Quick test_example3_contrast
+      ] );
+    ( "telemetry.properties",
+      [ QCheck_alcotest.to_alcotest prop_observation_only ] ) ]
