@@ -97,6 +97,12 @@ let print_metrics session = function
       print_endline
         (Json.to_string (Telemetry.to_json (Shex.Validate.metrics session)))
 
+(* --explain: the paper-style derivative walk for each association,
+   replayed against the session's settled verdicts. *)
+let print_explain session associations =
+  Format.printf "%a@." (fun ppf () ->
+      Shex_explain.Walk.pp_report ppf ~session associations) ()
+
 let emit_report session report ~json ~result_map ~quiet ~metrics =
   if json then begin
     (* --json --metrics json: one document, snapshot under "metrics". *)
@@ -144,8 +150,9 @@ let infer_cmd data_path label_name nodes_text =
       exit 2
 
 let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
-    engine engine_stats metrics trace_json trace show_sparql export_shexj
-    json result_map quiet infer_nodes infer_label =
+    engine engine_stats metrics trace_json trace_chrome trace_folded explain
+    trace show_sparql export_shexj json result_map quiet infer_nodes
+    infer_label =
   (match infer_nodes with
   | Some nodes_text -> infer_cmd data_path infer_label nodes_text
   | None -> ());
@@ -175,27 +182,70 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
   let data_path = require_data data_path in
   let graph = load_graph data_path in
   let tele =
-    if engine_stats || metrics <> None || trace_json <> None then
-      Telemetry.create ()
+    if
+      engine_stats || metrics <> None || trace_json <> None
+      || trace_chrome <> None || trace_folded <> None
+    then Telemetry.create ()
     else Telemetry.disabled
   in
+  (* Trace outputs are finalised exactly once, whichever way the
+     command terminates: [at_exit] covers the report emitters' [exit]
+     calls (which do not unwind, so Fun.protect alone would miss
+     them), the [Fun.protect] around the dispatch below covers
+     exception paths. *)
+  let finishers : (unit -> unit) list ref = ref [] in
+  let finished = ref false in
+  let finish_traces () =
+    if not !finished then begin
+      finished := true;
+      List.iter (fun f -> f ()) (List.rev !finishers)
+    end
+  in
+  at_exit finish_traces;
+  let sinks : (Telemetry.event -> unit) list ref = ref [] in
   (match trace_json with
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      (* The report emitters terminate via [exit]. *)
-      at_exit (fun () -> close_out_noerr oc);
-      Telemetry.set_sink tele
-        (Some
-           (fun ev ->
-             output_string oc
-               (Json.to_string ~minify:true (Telemetry.event_to_json ev));
-             output_char oc '\n')));
+      finishers := (fun () -> close_out_noerr oc) :: !finishers;
+      sinks :=
+        (fun ev ->
+          output_string oc
+            (Json.to_string ~minify:true (Telemetry.event_to_json ev));
+          output_char oc '\n')
+        :: !sinks);
+  (if trace_chrome <> None || trace_folded <> None then begin
+     let recorder = Shex_explain.Trace.create () in
+     sinks := Shex_explain.Trace.sink recorder :: !sinks;
+     (* Exported traces carry the rendered residual expressions. *)
+     Telemetry.set_residuals tele true;
+     let write path render =
+       finishers :=
+         (fun () ->
+           Out_channel.with_open_bin path (fun oc ->
+               output_string oc (render ())))
+         :: !finishers
+     in
+     Option.iter
+       (fun path ->
+         write path (fun () ->
+             Json.to_string (Shex_explain.Export.chrome_json recorder)))
+       trace_chrome;
+     Option.iter
+       (fun path ->
+         write path (fun () -> Shex_explain.Export.folded recorder))
+       trace_folded
+   end);
+  (match List.rev !sinks with
+  | [] -> ()
+  | [ f ] -> Telemetry.set_sink tele (Some f)
+  | fs -> Telemetry.set_sink tele (Some (fun ev -> List.iter (fun f -> f ev) fs)));
   let session =
     Shex.Validate.session ~engine:(engine_of_choice engine) ~telemetry:tele
       schema graph
   in
   let maybe_stats () = if engine_stats then print_engine_stats session in
+  Fun.protect ~finally:finish_traces @@ fun () ->
   match (shape_map_opt, node_opt, shape_opt) with
   | Some shape_map_text, None, None -> (
       match Shex.Shape_map.parse shape_map_text with
@@ -204,6 +254,8 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
           exit 2
       | Ok shape_map ->
           let report = Shex.Report.run_shape_map session shape_map graph in
+          if explain then
+            print_explain session (Shex.Shape_map.resolve shape_map graph);
           maybe_stats ();
           emit_report session report ~json ~result_map ~quiet ~metrics)
   | Some _, _, _ ->
@@ -214,6 +266,7 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
       let node = Rdf.Term.iri node_iri in
       let report = Shex.Report.run session [ (node, label) ] in
       if trace then print_trace session schema graph node label;
+      if explain then print_explain session [ (node, label) ];
       maybe_stats ();
       emit_report session report ~json ~result_map ~quiet ~metrics
   | None, None, None ->
@@ -225,6 +278,7 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
           (Rdf.Graph.nodes graph)
       in
       let report = Shex.Report.run session associations in
+      if explain then print_explain session associations;
       maybe_stats ();
       if json then begin
         let embedded =
@@ -354,6 +408,36 @@ let trace_json_arg =
            derivative step taken by the matching engine (the structured \
            form of $(b,--trace)).")
 
+let trace_chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-chrome" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write the full validation run as a \
+           Chrome trace-event JSON document to $(docv) — one span per \
+           (node, shape) check, one instant per derivative step — \
+           loadable in Perfetto or chrome://tracing.")
+
+let trace_folded_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-folded" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write folded flamegraph stacks \
+           ($(b,frame;frame count) lines, self-time in microseconds) to \
+           $(docv), ready for $(b,flamegraph.pl) or speedscope.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "After validating, pretty-print the derivative walk behind \
+           every verdict in the style of the paper's Examples 8\xe2\x80\x9312, \
+           with the structured blame set on each failure.")
+
 let trace_arg =
   Arg.(
     value & flag
@@ -407,8 +491,8 @@ let cmd =
     Term.(
       const validate_cmd $ schema_arg $ data_arg $ node_arg $ shape_arg
       $ shape_map_arg $ engine_arg $ engine_stats_arg $ metrics_arg
-      $ trace_json_arg $ trace_arg $ show_sparql_arg $ export_shexj_arg
-      $ json_arg $ result_map_arg $ quiet_arg $ infer_arg
-      $ infer_label_arg)
+      $ trace_json_arg $ trace_chrome_arg $ trace_folded_arg $ explain_arg
+      $ trace_arg $ show_sparql_arg $ export_shexj_arg $ json_arg
+      $ result_map_arg $ quiet_arg $ infer_arg $ infer_label_arg)
 
 let () = exit (Cmd.eval cmd)

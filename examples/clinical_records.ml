@@ -91,7 +91,7 @@ let () =
       (if outcome.Shex.Validate.ok then "conforms"
        else
          "FAILS — "
-         ^ Option.value outcome.Shex.Validate.reason ~default:"(no reason)")
+         ^ Option.value (Shex.Validate.reason outcome) ~default:"(no reason)")
   in
   Format.printf "Validation report:@.";
   List.iter (report observation) [ "obs1"; "obs2"; "obs3"; "obs4" ];

@@ -55,7 +55,8 @@ let () =
       if i < 3 then begin
         let outcome = Shex.Validate.check session n person in
         Format.printf "  %a: %s@." Rdf.Term.pp n
-          (Option.value outcome.Shex.Validate.reason
+          (Option.value
+             (Shex.Validate.reason outcome)
              ~default:"(no reason recorded)")
       end)
     invalid;

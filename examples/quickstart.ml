@@ -45,7 +45,7 @@ let () =
     let outcome = Shex.Validate.check session node person in
     Format.printf ":%-5s has shape <Person>?  %b@." name
       outcome.Shex.Validate.ok;
-    match outcome.Shex.Validate.reason with
+    match Shex.Validate.reason outcome with
     | Some reason -> Format.printf "        reason: %s@." reason
     | None -> ()
   in

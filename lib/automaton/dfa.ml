@@ -161,12 +161,49 @@ let step auto (state : Hrse.t) sym =
 
 let no_refs _ _ = false
 
-let matches ?(check_ref = no_refs) auto n g =
+(* The compiled engine's provenance events mirror the interpreted
+   derivative matcher's: one [deriv_step] per consumed triple (here a
+   DFA edge — states instead of expression sizes) and one
+   [nullable_check] at neighbourhood exhaustion, so trace consumers
+   see one vocabulary whichever engine ran. *)
+let record_step tele n dt (state : Hrse.t) (state' : Hrse.t) =
+  Telemetry.emit tele
+    (Telemetry.instant "deriv_step"
+       ([ ("focus", Telemetry.String (Rdf.Term.to_string n));
+          ("triple", Telemetry.String (Format.asprintf "%a" Neigh.pp dt));
+          ("state", Telemetry.Int state.Hrse.id);
+          ("state_after", Telemetry.Int state'.Hrse.id);
+          ("nullable", Telemetry.Bool state'.Hrse.nullable);
+          ("empty", Telemetry.Bool (Hrse.is_empty state')) ]
+       @
+       if Telemetry.residuals tele then
+         [ ("before", Telemetry.String (Format.asprintf "%a" Hrse.pp state));
+           ("after", Telemetry.String (Format.asprintf "%a" Hrse.pp state'))
+         ]
+       else []))
+
+let record_nullable tele n (state : Hrse.t) =
+  Telemetry.emit tele
+    (Telemetry.instant "nullable_check"
+       ([ ("focus", Telemetry.String (Rdf.Term.to_string n));
+          ("state", Telemetry.Int state.Hrse.id);
+          ("nullable", Telemetry.Bool state.Hrse.nullable) ]
+       @
+       if Telemetry.residuals tele then
+         [ ("residual", Telemetry.String (Format.asprintf "%a" Hrse.pp state))
+         ]
+       else []))
+
+let matches ?(check_ref = no_refs) ?(tele = Telemetry.disabled) auto n g =
   let dts = Neigh.of_node ~include_inverse:auto.has_inverse n g in
+  let tracing = Telemetry.tracing tele in
   let rec consume (state : Hrse.t) = function
-    | [] -> state.Hrse.nullable
+    | [] ->
+        if tracing then record_nullable tele n state;
+        state.Hrse.nullable
     | dt :: rest ->
         let state' = step auto state (classify auto ~check_ref dt) in
+        if tracing then record_step tele n dt state state';
         if auto.can_prune && Hrse.is_empty state' then false
         else consume state' rest
   in

@@ -45,6 +45,7 @@ val compile : Shex.Rse.t -> t
 
 val matches :
   ?check_ref:(Shex.Label.t -> Rdf.Term.t -> bool) ->
+  ?tele:Telemetry.t ->
   t ->
   Rdf.Term.t ->
   Rdf.Graph.t ->
@@ -55,7 +56,13 @@ val matches :
     neighbourhood triple by triple: classify into an arc class, step
     the DFA, and finally read the state's nullability.  Stops early in
     the dead state ∅ — sound exactly when the shape is negation-free,
-    as in the derivative engine. *)
+    as in the derivative engine.
+
+    When [tele] (default {!Telemetry.disabled}) has a sink, each DFA
+    edge emits a [deriv_step] event (with hash-consed state ids in
+    place of expression sizes; the rendered states too under
+    {!Telemetry.residuals}) and exhaustion emits a [nullable_check] —
+    the same provenance vocabulary as the interpreted engine. *)
 
 (** Cache counters, cumulative since {!compile}. *)
 type stats = {

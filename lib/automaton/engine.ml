@@ -7,12 +7,12 @@ let to_cache_stats (s : Dfa.stats) : Shex.Validate.cache_stats =
     misses = s.misses;
   }
 
-let backend () : Shex.Validate.compiled_backend =
+let backend tele : Shex.Validate.compiled_backend =
   let automata : Dfa.t list ref = ref [] in
   let compile_shape e =
     let auto = Dfa.compile e in
     automata := auto :: !automata;
-    fun ~check_ref n g -> Dfa.matches ~check_ref auto n g
+    fun ~check_ref n g -> Dfa.matches ~check_ref ~tele auto n g
   in
   let summed () =
     List.fold_left

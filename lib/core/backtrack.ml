@@ -81,7 +81,15 @@ let matches_list ?(check_ref = no_refs) ?(instr = no_instruments) dts e =
 
 let matches_count ?(check_ref = no_refs) ?(instr = no_instruments) n g e =
   let dts = Neigh.of_node ~include_inverse:(Rse.has_inverse e) n g in
-  matches_counted ~check_ref ~instr dts e
+  let (result, work) as r = matches_counted ~check_ref ~instr dts e in
+  if Telemetry.tracing instr.tele then
+    Telemetry.emit instr.tele
+      (Telemetry.instant "backtrack_match"
+         [ ("focus", Telemetry.String (Rdf.Term.to_string n));
+           ("triples", Telemetry.Int (List.length dts));
+           ("branches", Telemetry.Int work);
+           ("ok", Telemetry.Bool result) ]);
+  r
 
 let matches ?check_ref ?instr n g e =
   fst (matches_count ?check_ref ?instr n g e)

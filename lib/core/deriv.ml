@@ -28,16 +28,33 @@ let record instr n dt before after =
   Telemetry.Histogram.observe instr.size_after (Rse.size after);
   if Telemetry.tracing instr.tele then
     Telemetry.emit instr.tele
-      {
-        Telemetry.name = "deriv_step";
-        fields =
-          [ ("focus", Telemetry.String (Rdf.Term.to_string n));
+      (Telemetry.instant "deriv_step"
+         ([ ("focus", Telemetry.String (Rdf.Term.to_string n));
             ("triple", Telemetry.String (Format.asprintf "%a" Neigh.pp dt));
             ("size_before", Telemetry.Int (Rse.size before));
             ("size_after", Telemetry.Int (Rse.size after));
             ("nullable", Telemetry.Bool (Rse.nullable after));
-            ("empty", Telemetry.Bool (Rse.equal after Rse.empty)) ];
-      }
+            ("empty", Telemetry.Bool (Rse.equal after Rse.empty)) ]
+         @
+         if Telemetry.residuals instr.tele then
+           [ ("before", Telemetry.String (Rse.to_string before));
+             ("after", Telemetry.String (Rse.to_string after)) ]
+         else []))
+
+(* The ν check at neighbourhood exhaustion (the last line of the
+   paper's walk tables): emitted only when all triples were consumed
+   without pruning to ∅. *)
+let record_nullable instr n residual verdict =
+  if Telemetry.tracing instr.tele then
+    Telemetry.emit instr.tele
+      (Telemetry.instant "nullable_check"
+         ([ ("focus", Telemetry.String (Rdf.Term.to_string n));
+            ("size", Telemetry.Int (Rse.size residual));
+            ("nullable", Telemetry.Bool verdict) ]
+         @
+         if Telemetry.residuals instr.tele then
+           [ ("residual", Telemetry.String (Rse.to_string residual)) ]
+         else []))
 
 let arc_matches ~check_ref (a : Rse.arc) (dt : Neigh.dtriple) =
   match a.obj with
@@ -74,7 +91,10 @@ let matches ?ctors ?check_ref ?(instr = no_instruments) n g e =
      still become accepting. *)
   let can_prune = not (Rse.has_not e) in
   let rec consume e = function
-    | [] -> Rse.nullable e
+    | [] ->
+        let ok = Rse.nullable e in
+        if Telemetry.tracing instr.tele then record_nullable instr n e ok;
+        ok
     | dt :: rest ->
         let e' = deriv ?ctors ?check_ref dt e in
         if Telemetry.Counter.active instr.steps then record instr n dt e e';
@@ -96,7 +116,9 @@ let matches_trace ?ctors ?check_ref ?(instr = no_instruments) n g e =
         (e', { consumed = dt; after = e' } :: acc))
       (e, []) dts
   in
-  { initial = e; steps = List.rev rev_steps; result = Rse.nullable final }
+  let result = Rse.nullable final in
+  if Telemetry.tracing instr.tele then record_nullable instr n final result;
+  { initial = e; steps = List.rev rev_steps; result }
 
 let pp_trace ppf t =
   Format.pp_open_vbox ppf 0;

@@ -28,6 +28,9 @@ type check_ref = Label.t -> Rdf.Term.t -> bool
     [l].  The default refuses every reference (suitable for
     reference-free expressions). *)
 
+val no_refs : check_ref
+(** The default callback: refuses every reference. *)
+
 (** {1 Telemetry}
 
     The matcher reports one [deriv_steps] increment per consumed

@@ -4,8 +4,10 @@ type entry = {
   node : Rdf.Term.t;
   label : Label.t;
   status : status;
-  reason : string option;
+  explain : Explain.t option;
 }
+
+let reason e = Option.map Explain.to_string e.explain
 
 type t = { entries : entry list; typing : Typing.t }
 
@@ -16,10 +18,10 @@ let run session associations =
         let outcome = Validate.check session node label in
         let entry =
           if outcome.Validate.ok then
-            { node; label; status = Conformant; reason = None }
+            { node; label; status = Conformant; explain = None }
           else
             { node; label; status = Nonconformant;
-              reason = outcome.Validate.reason }
+              explain = outcome.Validate.explain }
         in
         (entry :: entries, Typing.combine typing outcome.Validate.typing))
       ([], Typing.empty) associations
@@ -48,7 +50,7 @@ let pp ppf t =
       | Nonconformant ->
           Format.fprintf ppf "FAIL %a@@%a%s" Rdf.Term.pp e.node Label.pp
             e.label
-            (match e.reason with
+            (match reason e with
             | Some reason -> "\n     " ^ reason
             | None -> ""))
     t.entries;
@@ -79,8 +81,10 @@ let to_json ?metrics t =
              | Conformant -> "conformant"
              | Nonconformant -> "nonconformant") ) ]
       @
-      match e.reason with
-      | Some reason -> [ ("reason", Json.String reason) ]
+      match e.explain with
+      | Some ex ->
+          [ ("reason", Json.String (Explain.to_string ex));
+            ("explain", Explain.to_json ex) ]
       | None -> [])
   in
   Json.Object

@@ -15,8 +15,13 @@ type entry = {
   node : Rdf.Term.t;
   label : Label.t;
   status : status;
-  reason : string option;  (** failure explanation, [None] on success *)
+  explain : Explain.t option;
+      (** structured failure explanation (blame set), [None] on
+          success *)
 }
+
+val reason : entry -> string option
+(** The rendered form of [explain] ({!Explain.to_string}). *)
 
 type t = {
   entries : entry list;
@@ -43,7 +48,9 @@ val to_result_shape_map : t -> string
 
 val to_json : ?metrics:Telemetry.snapshot -> t -> Json.t
 (** [{ "entries": [ {"node": …, "shape": …, "status": "conformant",
-    "reason": …}, … ], "conformant": n, "nonconformant": m }].  With
-    [?metrics] (the CLI's [--json --metrics=json] combination) a
-    final ["metrics"] member carries the session's
-    {!Validate.metrics} snapshot. *)
+    "reason": …, "explain": …}, … ], "conformant": n,
+    "nonconformant": m }] — nonconformant entries carry both the
+    rendered ["reason"] string and the structured ["explain"] member
+    ({!Explain.to_json}).  With [?metrics] (the CLI's
+    [--json --metrics=json] combination) a final ["metrics"] member
+    carries the session's {!Validate.metrics} snapshot. *)

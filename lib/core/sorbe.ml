@@ -110,12 +110,22 @@ let matches ?(check_ref = fun _ _ -> false) ?(instr = no_instruments) n g t =
     in
     find 0
   in
-  List.for_all attribute dts
-  && Array.for_all2
-       (fun count c ->
-         count >= c.card.min
-         && match c.card.max with None -> true | Some m -> count <= m)
-       counts constrs
+  let result =
+    List.for_all attribute dts
+    && Array.for_all2
+         (fun count c ->
+           count >= c.card.min
+           && match c.card.max with None -> true | Some m -> count <= m)
+         counts constrs
+  in
+  if Telemetry.tracing instr.tele then
+    Telemetry.emit instr.tele
+      (Telemetry.instant "sorbe_match"
+         [ ("focus", Telemetry.String (Rdf.Term.to_string n));
+           ("triples", Telemetry.Int (List.length dts));
+           ("constraints", Telemetry.Int (Array.length constrs));
+           ("ok", Telemetry.Bool result) ]);
+  result
 
 let pp_interval ppf i =
   match i.max with

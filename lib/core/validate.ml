@@ -39,7 +39,10 @@ type compiled_backend = {
          so --engine-stats and --metrics are one code path *)
 }
 
-let compiled_backend_factory : (unit -> compiled_backend) option ref =
+(* The factory receives the session's registry so the compiled engine
+   can emit the same per-triple trace events as the interpreted one
+   (from DFA edges instead of derivative expressions). *)
+let compiled_backend_factory : (Telemetry.t -> compiled_backend) option ref =
   ref None
 
 let set_compiled_backend f = compiled_backend_factory := Some f
@@ -69,7 +72,7 @@ let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled) schema
     graph =
   let backend =
     match (engine, !compiled_backend_factory) with
-    | (Compiled | Auto), Some make -> Some (make ())
+    | (Compiled | Auto), Some make -> Some (make telemetry)
     | Compiled, None ->
         failwith
           "Validate: engine Compiled requires the automaton backend \
@@ -91,6 +94,8 @@ let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled) schema
     fix_demands = Telemetry.counter telemetry "fixpoint_demands" }
 
 let telemetry st = st.tele
+let schema st = st.schema
+let graph st = st.graph
 
 let compile st l e =
   match Hashtbl.find_opt st.compiled l with
@@ -123,7 +128,9 @@ let metrics st =
   | Some _ | None -> ());
   Telemetry.snapshot st.tele
 
-type outcome = { ok : bool; typing : Typing.t; reason : string option }
+type outcome = { ok : bool; typing : Typing.t; explain : Explain.t option }
+
+let reason o = Option.map Explain.to_string o.explain
 
 (* One evaluation of a (node, label) pair under the current candidate
    valuation.  References to settled pairs read the memo table;
@@ -141,27 +148,52 @@ let rec evaluate st ~value ~demand ((n, l) : Pair.t) =
   | Some { Schema.expr = e; _ } ->
       let used = ref [] in
       let stratum = Schema.stratum st.schema l in
+      let tracing = Telemetry.tracing st.tele in
       let check_ref l' o =
         let q = (o, l') in
         used := q :: !used;
-        match Hashtbl.find_opt st.proven q with
-        | Some b -> b
-        | None ->
-            if Schema.stratum st.schema l' < stratum then begin
-              solve st q;
-              Hashtbl.find st.proven q
-            end
-            else begin
-              demand q;
-              value q
-            end
+        let settled = Hashtbl.find_opt st.proven q in
+        let answer =
+          match settled with
+          | Some b -> b
+          | None ->
+              if Schema.stratum st.schema l' < stratum then begin
+                solve st q;
+                Hashtbl.find st.proven q
+              end
+              else begin
+                demand q;
+                value q
+              end
+        in
+        (* The dependency edge of the fixpoint: which hypothesis this
+           verdict consulted, and whether the answer was a settled
+           fact or the optimistic candidate valuation. *)
+        if tracing then
+          Telemetry.emit st.tele
+            (Telemetry.instant "fixpoint_dep"
+               [ ("node", Telemetry.String (Rdf.Term.to_string n));
+                 ("shape", Telemetry.String (Label.to_string l));
+                 ("on_node", Telemetry.String (Rdf.Term.to_string o));
+                 ("on_shape", Telemetry.String (Label.to_string l'));
+                 ("answer", Telemetry.Bool answer);
+                 ("settled", Telemetry.Bool (Option.is_some settled)) ]);
+        answer
       in
-      let ok =
+      (* One provenance span per (node, shape) evaluation, labelled
+         with the matcher that actually ran (Auto resolves per
+         shape). *)
+      let matcher_name, run =
         match st.engine with
         | Derivatives ->
-            Deriv.matches ~check_ref ~instr:st.deriv_instr n st.graph e
+            ( "derivatives",
+              fun () ->
+                Deriv.matches ~check_ref ~instr:st.deriv_instr n st.graph e )
         | Backtracking ->
-            Backtrack.matches ~check_ref ~instr:st.back_instr n st.graph e
+            ( "backtracking",
+              fun () ->
+                Backtrack.matches ~check_ref ~instr:st.back_instr n st.graph
+                  e )
         | Auto | Compiled -> (
             (* Per-label compilation (experiments E4, E9): Auto uses
                the linear counting matcher when the shape is in the
@@ -169,12 +201,31 @@ let rec evaluate st ~value ~demand ((n, l) : Pair.t) =
                Compiled always uses the DFA. *)
             match compile st l e with
             | Counting sorbe ->
-                Sorbe.matches ~check_ref ~instr:st.sorbe_instr n st.graph
-                  sorbe
-            | Table matcher -> matcher ~check_ref n st.graph
+                ( "sorbe",
+                  fun () ->
+                    Sorbe.matches ~check_ref ~instr:st.sorbe_instr n st.graph
+                      sorbe )
+            | Table matcher ->
+                ("compiled", fun () -> matcher ~check_ref n st.graph)
             | Generic ->
-                Deriv.matches ~check_ref ~instr:st.deriv_instr n st.graph e)
+                ( "derivatives",
+                  fun () ->
+                    Deriv.matches ~check_ref ~instr:st.deriv_instr n st.graph
+                      e ))
       in
+      if tracing then
+        Telemetry.emit st.tele
+          (Telemetry.span_begin "check"
+             [ ("node", Telemetry.String (Rdf.Term.to_string n));
+               ("shape", Telemetry.String (Label.to_string l));
+               ("engine", Telemetry.String matcher_name) ]);
+      let ok = run () in
+      if tracing then
+        Telemetry.emit st.tele
+          (Telemetry.span_end "check"
+             [ ("node", Telemetry.String (Rdf.Term.to_string n));
+               ("shape", Telemetry.String (Label.to_string l));
+               ("ok", Telemetry.Bool ok) ]);
       (ok, !used)
 
 (* Greatest-fixpoint solver (chaotic iteration).  All demanded pairs
@@ -219,12 +270,28 @@ and solve st root =
         if not ok then begin
           Telemetry.Counter.incr st.fix_flips;
           Hashtbl.replace value p false;
-          match Hashtbl.find_opt dependents p with
-          | None -> ()
-          | Some ds ->
-              Pair_set.iter
-                (fun d -> if Hashtbl.find value d then Queue.add d queue)
-                ds
+          let ds =
+            Option.value
+              (Hashtbl.find_opt dependents p)
+              ~default:Pair_set.empty
+          in
+          let requeued = ref 0 in
+          Pair_set.iter
+            (fun d ->
+              if Hashtbl.find value d then begin
+                incr requeued;
+                Queue.add d queue
+              end)
+            ds;
+          (* The refutation edge: this hypothesis flipped to false and
+             re-triggered the verdicts that relied on it. *)
+          if Telemetry.tracing st.tele then
+            let fn, fl = p in
+            Telemetry.emit st.tele
+              (Telemetry.instant "fixpoint_flip"
+                 [ ("node", Telemetry.String (Rdf.Term.to_string fn));
+                   ("shape", Telemetry.String (Label.to_string fl));
+                   ("requeued", Telemetry.Int !requeued) ])
         end
       end
     done;
@@ -253,24 +320,20 @@ let typing_of st root =
     (closure Pair_set.empty root)
     Typing.empty
 
-let failure_reason st n l =
+let failure_explain st n l =
   match Schema.find_shape st.schema l with
-  | None -> Some (Format.asprintf "no rule for shape label %a" Label.pp l)
+  | None -> Some (Explain.No_shape { node = n; label = l })
   | Some { Schema.focus = Some vo; _ } when not (Value_set.obj_mem vo n) ->
-      Some
-        (Format.asprintf
-           "the focus node %a does not satisfy the shape's node constraint \
-            %a"
-           Rdf.Term.pp n Value_set.pp_obj vo)
+      Some (Explain.Node_constraint { node = n; constraint_ = vo })
   | Some { Schema.expr = e; _ } ->
       let check_ref l' o = verdict st (o, l') in
       let trace = Deriv.matches_trace ~check_ref n st.graph e in
-      Deriv.explain_failure trace
+      Explain.of_trace ~check_ref ~node:n ~label:l trace
 
 let check st n l =
   if verdict st (n, l) then
-    { ok = true; typing = typing_of st (n, l); reason = None }
-  else { ok = false; typing = Typing.empty; reason = failure_reason st n l }
+    { ok = true; typing = typing_of st (n, l); explain = None }
+  else { ok = false; typing = Typing.empty; explain = failure_explain st n l }
 
 let check_bool st n l = verdict st (n, l)
 

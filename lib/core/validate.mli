@@ -63,6 +63,8 @@ val session :
     point costs a single branch (experiment E10). *)
 
 val telemetry : session -> Telemetry.t
+val schema : session -> Schema.t
+val graph : session -> Rdf.Graph.t
 
 val metrics : session -> Telemetry.snapshot
 (** The session's unified metrics snapshot.  Engine counters are read
@@ -110,10 +112,12 @@ type compiled_backend = {
           unified snapshot includes the automaton cache *)
 }
 
-val set_compiled_backend : (unit -> compiled_backend) -> unit
+val set_compiled_backend : (Telemetry.t -> compiled_backend) -> unit
 (** Install the backend factory (called by
     [Shex_automaton.Engine.install], which the library also runs at
-    link time).  The factory is invoked once per session. *)
+    link time).  The factory is invoked once per session with the
+    session's telemetry registry, so the compiled engine emits the
+    same per-triple trace events as the interpreted one. *)
 
 val compiled_backend_installed : unit -> bool
 
@@ -128,10 +132,15 @@ type outcome = {
   typing : Typing.t;
       (** all (node, label) facts established by the check, including
           those of recursively visited neighbours; empty on failure *)
-  reason : string option;
-      (** on failure, a human-readable explanation from the
-          derivative trace *)
+  explain : Explain.t option;
+      (** on failure, the structured blame set extracted from the
+          derivative trace — the fatal triple, the missing arcs, or
+          the refuted node constraint (see {!Explain}) *)
 }
+
+val reason : outcome -> string option
+(** The rendered form of [explain] ({!Explain.to_string}) — the
+    human-readable failure reason reports print. *)
 
 val check : session -> Rdf.Term.t -> Label.t -> outcome
 

@@ -1,0 +1,90 @@
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON                                            *)
+(* ------------------------------------------------------------------ *)
+
+let args_json args =
+  Json.Object (List.map (fun (k, v) -> (k, Telemetry.value_to_json v)) args)
+
+let chrome_events ?(pid = 1) ?(tid = 1) spans =
+  let rec emit acc (s : Trace.span) =
+    let common =
+      [ ("name", Json.String s.Trace.name);
+        ("ts", Json.int s.Trace.ts);
+        ("pid", Json.int pid);
+        ("tid", Json.int tid) ]
+    in
+    let ev =
+      if s.Trace.is_span then
+        Json.Object
+          (("ph", Json.String "X")
+          :: common
+          @ [ ("dur", Json.int s.Trace.dur); ("args", args_json s.Trace.args) ]
+          )
+      else
+        Json.Object
+          (("ph", Json.String "i")
+          :: common
+          @ [ ("s", Json.String "t"); ("args", args_json s.Trace.args) ])
+    in
+    List.fold_left emit (ev :: acc) (Trace.children s)
+  in
+  List.rev (List.fold_left emit [] spans)
+
+let chrome_json ?pid ?tid t =
+  Json.Object
+    [ ("traceEvents", Json.Array (chrome_events ?pid ?tid (Trace.roots t)));
+      ("displayTimeUnit", Json.String "ms") ]
+
+(* ------------------------------------------------------------------ *)
+(* Folded flamegraph stacks                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One frame per span.  [check] spans label themselves with the focus
+   node and shape so sibling checks get distinct frames.  Frame
+   separators (';') and the count separator (' ') may not appear
+   inside a frame. *)
+let frame (s : Trace.span) =
+  let base =
+    match (Trace.string_arg s "node", Trace.string_arg s "shape") with
+    | Some n, Some l -> Printf.sprintf "%s:%s@%s" s.Trace.name n l
+    | Some n, None -> Printf.sprintf "%s:%s" s.Trace.name n
+    | None, _ -> s.Trace.name
+  in
+  String.map (function ' ' | ';' -> '_' | c -> c) base
+
+let folded t =
+  (* stack -> accumulated self-time, in first-seen order *)
+  let totals : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let add stack self =
+    if not (Hashtbl.mem totals stack) then order := stack :: !order;
+    Hashtbl.replace totals stack
+      (self + Option.value (Hashtbl.find_opt totals stack) ~default:0)
+  in
+  let rec walk prefix (s : Trace.span) =
+    if s.Trace.is_span then begin
+      let stack =
+        match prefix with "" -> frame s | p -> p ^ ";" ^ frame s
+      in
+      let child_spans =
+        List.filter (fun (c : Trace.span) -> c.Trace.is_span)
+          (Trace.children s)
+      in
+      let child_time =
+        List.fold_left (fun acc (c : Trace.span) -> acc + c.Trace.dur) 0
+          child_spans
+      in
+      add stack (max 0 (s.Trace.dur - child_time));
+      List.iter (walk stack) child_spans
+    end
+  in
+  List.iter (walk "") (Trace.roots t);
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun stack ->
+      Buffer.add_string buf stack;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (Hashtbl.find totals stack));
+      Buffer.add_char buf '\n')
+    (List.rev !order);
+  Buffer.contents buf

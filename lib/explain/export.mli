@@ -1,0 +1,24 @@
+(** Exporters for recorded provenance traces.
+
+    Two interchange formats, both built from the {!Trace} span tree:
+
+    - {b Chrome trace-event JSON} ({!chrome_json}) — the
+      [{"traceEvents": […]}] object format loadable in Perfetto /
+      [chrome://tracing].  Each span becomes a complete event
+      ([ph: "X"] with [ts]/[dur] in microseconds); each instant a
+      thread-scoped instant event ([ph: "i"], [s: "t"]).  Event
+      fields travel in [args].
+    - {b Folded flamegraph stacks} ({!folded}) — one
+      [frame;frame;frame value] line per distinct span stack, value =
+      {e self} time in microseconds, the input format of
+      [flamegraph.pl] and speedscope.  [check] spans are labelled
+      [check:<node>@<shape>] so each (node, shape) evaluation gets its
+      own frame; instants contribute no frames. *)
+
+val chrome_json : ?pid:int -> ?tid:int -> Trace.t -> Json.t
+(** Serialise the whole recorded forest ([pid]/[tid] default 1).
+    Calls {!Trace.roots}, which finishes the trace first. *)
+
+val folded : Trace.t -> string
+(** Folded stack lines in first-seen order, newline-terminated; empty
+    string for a trace with no spans. *)

@@ -1,0 +1,93 @@
+type span = {
+  name : string;
+  mutable args : (string * Telemetry.value) list;
+  ts : int;
+  mutable dur : int;
+  is_span : bool;
+  mutable rev_children : span list;
+}
+
+type t = {
+  clock : unit -> float;
+  epoch : float;
+  mutable rev_roots : span list;
+  mutable stack : span list;
+  mutable events : int;
+}
+
+let create ?clock () =
+  let clock = Option.value clock ~default:Unix.gettimeofday in
+  { clock; epoch = clock (); rev_roots = []; stack = []; events = 0 }
+
+let now t = int_of_float ((t.clock () -. t.epoch) *. 1e6)
+
+let attach t span =
+  match t.stack with
+  | parent :: _ -> parent.rev_children <- span :: parent.rev_children
+  | [] -> t.rev_roots <- span :: t.rev_roots
+
+(* Close the top of the stack at time [ts], merging any extra
+   [fields] the end event carried (e.g. the verdict a check span only
+   learns at its end). *)
+let close_top t ts fields =
+  match t.stack with
+  | [] -> ()
+  | span :: rest ->
+      t.stack <- rest;
+      span.dur <- max 0 (ts - span.ts);
+      let fresh =
+        List.filter (fun (k, _) -> not (List.mem_assoc k span.args)) fields
+      in
+      span.args <- span.args @ fresh;
+      attach t span
+
+let record t (ev : Telemetry.event) =
+  t.events <- t.events + 1;
+  match ev.phase with
+  | Telemetry.Span_begin ->
+      let span =
+        { name = ev.name; args = ev.fields; ts = now t; dur = 0;
+          is_span = true; rev_children = [] }
+      in
+      t.stack <- span :: t.stack
+  | Telemetry.Span_end ->
+      (* An end whose name doesn't match the open span means an
+         abandoned section (an exception unwound past its end event):
+         close the stragglers so the tree stays well formed. *)
+      let ts = now t in
+      let rec unwind () =
+        match t.stack with
+        | [] -> ()
+        | span :: _ when String.equal span.name ev.name ->
+            close_top t ts ev.fields
+        | _ ->
+            close_top t ts [];
+            unwind ()
+      in
+      unwind ()
+  | Telemetry.Instant ->
+      let span =
+        { name = ev.name; args = ev.fields; ts = now t; dur = 0;
+          is_span = false; rev_children = [] }
+      in
+      attach t span
+
+let sink t = record t
+
+let finish t =
+  let ts = now t in
+  while t.stack <> [] do
+    close_top t ts []
+  done
+
+let roots t =
+  finish t;
+  List.rev t.rev_roots
+
+let children span = List.rev span.rev_children
+let events t = t.events
+
+let arg span key = List.assoc_opt key span.args
+
+let string_arg span key =
+  match arg span key with Some (Telemetry.String s) -> Some s | _ -> None

@@ -1,0 +1,36 @@
+open Shex
+
+let pp_verdict ppf (outcome : Validate.outcome) =
+  if outcome.Validate.ok then Format.pp_print_string ppf "PASS"
+  else
+    match outcome.Validate.explain with
+    | Some ex -> Format.fprintf ppf "FAIL: %a" Explain.pp ex
+    | None -> Format.pp_print_string ppf "FAIL"
+
+let pp_check ppf ~session n l =
+  let schema = Validate.schema session in
+  let graph = Validate.graph session in
+  Format.fprintf ppf "@[<v>check %a@@%a@," Rdf.Term.pp n Label.pp l;
+  (match Schema.find_shape schema l with
+  | None -> ()
+  | Some { Schema.focus = Some vo; _ } when not (Value_set.obj_mem vo n) ->
+      Format.fprintf ppf "  node constraint %a refuses the focus node@,"
+        Value_set.pp_obj vo
+  | Some { Schema.expr = e; _ } ->
+      (* Replay the derivative walk with the session's settled
+         verdicts answering the shape references — the table form of
+         Examples 8-12. *)
+      let check_ref l' o = Validate.check_bool session o l' in
+      let trace = Deriv.matches_trace ~check_ref n graph e in
+      Format.fprintf ppf "  @[<v>%a@]@," Deriv.pp_trace trace);
+  let outcome = Validate.check session n l in
+  Format.fprintf ppf "  %a@]" pp_verdict outcome
+
+let pp_report ppf ~session associations =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i (n, l) ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      pp_check ppf ~session n l)
+    associations;
+  Format.pp_close_box ppf ()

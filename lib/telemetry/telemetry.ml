@@ -69,7 +69,14 @@ module Span = struct
 end
 
 type value = Int of int | Float of float | Bool of bool | String of string
-type event = { name : string; fields : (string * value) list }
+
+type phase = Span_begin | Span_end | Instant
+
+type event = { name : string; phase : phase; fields : (string * value) list }
+
+let instant name fields = { name; phase = Instant; fields }
+let span_begin name fields = { name; phase = Span_begin; fields }
+let span_end name fields = { name; phase = Span_end; fields }
 
 type t = {
   on : bool;
@@ -77,6 +84,7 @@ type t = {
   histograms : (string, Histogram.t) Hashtbl.t;
   spans : (string, Span.t) Hashtbl.t;
   mutable sink : (event -> unit) option;
+  mutable residuals : bool;
 }
 
 let make on =
@@ -86,6 +94,7 @@ let make on =
     histograms = Hashtbl.create 8;
     spans = Hashtbl.create 8;
     sink = None;
+    residuals = false;
   }
 
 let create () = make true
@@ -140,6 +149,9 @@ let span t name =
 let set_sink t sink = if t.on then t.sink <- sink
 let tracing t = t.on && Option.is_some t.sink
 
+let set_residuals t b = if t.on then t.residuals <- b
+let residuals t = t.on && t.residuals && Option.is_some t.sink
+
 let emit t ev =
   match t.sink with Some f when t.on -> f ev | Some _ | None -> ()
 
@@ -149,10 +161,16 @@ let value_to_json = function
   | Bool b -> Json.Bool b
   | String s -> Json.String s
 
+(* Instant events carry no "ph" member, so the --trace-json line format
+   of step events is unchanged from before phases existed. *)
 let event_to_json ev =
   Json.Object
     (("event", Json.String ev.name)
-    :: List.map (fun (k, v) -> (k, value_to_json v)) ev.fields)
+    :: (match ev.phase with
+       | Instant -> []
+       | Span_begin -> [ ("ph", Json.String "B") ]
+       | Span_end -> [ ("ph", Json.String "E") ])
+    @ List.map (fun (k, v) -> (k, value_to_json v)) ev.fields)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                          *)

@@ -98,10 +98,30 @@ val span : t -> string -> Span.t
     The sink receives one {!event} per emission — the derivative
     engines emit one per consumed triple, which is the machine
     readable form of the paper's step-by-step traces (Examples
-    11–12). *)
+    11–12).
+
+    Events carry a {!phase} so that a sink can reconstruct a {e span
+    tree} (the provenance trace behind [--trace-chrome] and
+    [--explain]): {!Span_begin}/{!Span_end} bracket a nested section
+    (one [check] span per (node, shape) evaluation), {!Instant} marks
+    a point event inside the current section (one [deriv_step] per
+    consumed triple, one [nullable_check] at neighbourhood
+    exhaustion, fixpoint dependency edges, …).  The registry itself
+    does not build the tree — [Shex_explain.Trace] does — so the
+    emitting hot paths stay one branch when disabled. *)
 
 type value = Int of int | Float of float | Bool of bool | String of string
-type event = { name : string; fields : (string * value) list }
+
+type phase = Span_begin | Span_end | Instant
+
+type event = { name : string; phase : phase; fields : (string * value) list }
+
+val instant : string -> (string * value) list -> event
+val span_begin : string -> (string * value) list -> event
+val span_end : string -> (string * value) list -> event
+(** [span_end name fields]'s fields are merged into the matching open
+    span by tree-building sinks (e.g. the verdict an evaluation span
+    learns only at its end). *)
 
 val set_sink : t -> (event -> unit) option -> unit
 
@@ -109,11 +129,26 @@ val tracing : t -> bool
 (** [true] when the registry is enabled {e and} a sink is installed —
     the guard instrumented code tests before building event fields. *)
 
+val set_residuals : t -> bool -> unit
+(** Ask tracing instrumentation to attach the {e full residual
+    expressions} (rendered, before/after each derivative step) to its
+    events, not just their sizes.  Costly — each step then serialises
+    two expressions — so it is a separate knob from {!set_sink};
+    experiment E11 prices the difference.  No-op on a disabled
+    registry. *)
+
+val residuals : t -> bool
+(** [true] when {!tracing} and residual capture was requested. *)
+
 val emit : t -> event -> unit
 (** Deliver to the sink; a no-op unless {!tracing}. *)
 
+val value_to_json : value -> Json.t
+
 val event_to_json : event -> Json.t
-(** [{"event": name, field₁: v₁, …}] with fields in emission order. *)
+(** [{"event": name, field₁: v₁, …}] with fields in emission order.
+    Span events additionally carry ["ph": "B"|"E"] after the name;
+    instants stay exactly as before phases existed. *)
 
 (** {1 Snapshots}
 

@@ -103,7 +103,15 @@ the report, after the existing keys:
         "node": "<http://example.org/mary>",
         "shape": "Person",
         "status": "nonconformant",
-        "reason": "triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)"
+        "reason": "triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)",
+        "explain": {
+          "kind": "blame_triple",
+          "node": "<http://example.org/mary>",
+          "shape": "Person",
+          "triple": "<http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+          "residual": "<http://xmlns.com/foaf/0.1/name>→xsd:string ‖ (<http://xmlns.com/foaf/0.1/knows>→@<Person>)* ‖ (<http://xmlns.com/foaf/0.1/name>→xsd:string)*",
+          "ref_failures": []
+        }
       }
     ],
     "conformant": 0,
@@ -153,12 +161,18 @@ match once per iteration, hence the repetition):
   >   --node http://example.org/bob --shape Person \
   >   --trace-json trace.jsonl --quiet
   $ cat trace.jsonl
+  {"event":"check","ph":"B","node":"<http://example.org/bob>","shape":"Person","engine":"derivatives"}
   {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/age> \"34\"^^<http://www.w3.org/2001/XMLSchema#integer> .","size_before":9,"size_after":7,"nullable":false,"empty":false}
   {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> \"Bob\" .","size_before":7,"size_after":9,"nullable":true,"empty":false}
   {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> \"Robert\" .","size_before":9,"size_after":9,"nullable":true,"empty":false}
+  {"event":"nullable_check","focus":"<http://example.org/bob>","size":9,"nullable":true}
+  {"event":"check","ph":"E","node":"<http://example.org/bob>","shape":"Person","ok":true}
+  {"event":"check","ph":"B","node":"<http://example.org/bob>","shape":"Person","engine":"derivatives"}
   {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/age> \"34\"^^<http://www.w3.org/2001/XMLSchema#integer> .","size_before":9,"size_after":7,"nullable":false,"empty":false}
   {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> \"Bob\" .","size_before":7,"size_after":9,"nullable":true,"empty":false}
   {"event":"deriv_step","focus":"<http://example.org/bob>","triple":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/name> \"Robert\" .","size_before":9,"size_after":9,"nullable":true,"empty":false}
+  {"event":"nullable_check","focus":"<http://example.org/bob>","size":9,"nullable":true}
+  {"event":"check","ph":"E","node":"<http://example.org/bob>","shape":"Person","ok":true}
 
 --metrics requires an explicit format:
 

@@ -35,7 +35,7 @@ let test_api_focus () =
     (Validate.check_bool session (Rdf.Term.bnode "b0") person);
   (* And the failure reason mentions the node constraint. *)
   let outcome = Validate.check session (Rdf.Term.bnode "b0") person in
-  match outcome.Validate.reason with
+  match Validate.reason outcome with
   | Some msg ->
       check_bool "mentions node constraint" true
         (let has_sub sub s =

@@ -144,7 +144,7 @@ let test_report_run () =
   match Report.nonconformant report with
   | [ e ] ->
       check_bool "mary" true (Rdf.Term.equal e.Report.node (node "mary"));
-      check_bool "has reason" true (e.Report.reason <> None)
+      check_bool "has reason" true (Report.reason e <> None)
   | _ -> Alcotest.fail "expected exactly mary"
 
 let test_report_result_shape_map () =

@@ -82,14 +82,26 @@ let test_span_and_events () =
   Telemetry.set_sink tele (Some (fun ev -> seen := ev :: !seen));
   Alcotest.(check bool) "sink installed" true (Telemetry.tracing tele);
   let ev =
-    { Telemetry.name = "step";
-      fields = [ ("n", Telemetry.Int 3); ("ok", Telemetry.Bool true) ] }
+    Telemetry.instant "step"
+      [ ("n", Telemetry.Int 3); ("ok", Telemetry.Bool true) ]
   in
   Telemetry.emit tele ev;
   Alcotest.(check int) "delivered" 1 (List.length !seen);
   Alcotest.(check string)
     "event json" {|{"event":"step","n":3,"ok":true}|}
     (Json.to_string ~minify:true (Telemetry.event_to_json ev));
+  Alcotest.(check string)
+    "span event json carries ph"
+    {|{"event":"check","ph":"B","node":"n1"}|}
+    (Json.to_string ~minify:true
+       (Telemetry.event_to_json
+          (Telemetry.span_begin "check" [ ("node", Telemetry.String "n1") ])));
+  Alcotest.(check bool) "residuals off by default" false
+    (Telemetry.residuals tele);
+  Telemetry.set_residuals tele true;
+  Alcotest.(check bool) "residuals on with sink installed" true
+    (Telemetry.residuals tele);
+  Telemetry.set_residuals tele false;
   Telemetry.set_sink tele None;
   Telemetry.emit tele ev;
   Alcotest.(check int) "sink removed" 1 (List.length !seen)

@@ -126,7 +126,13 @@ let test_failure_reason () =
   let session = Validate.session person_schema example2_graph in
   let outcome = Validate.check session (node "mary") person in
   check_bool "failed" false outcome.Validate.ok;
-  check_bool "has reason" true (outcome.Validate.reason <> None)
+  check_bool "has reason" true (outcome.Validate.explain <> None);
+  (match outcome.Validate.explain with
+  | Some (Explain.Blame_triple { triple; _ }) ->
+      check_bool "blames an age triple" true
+        (Rdf.Iri.to_string (Rdf.Triple.predicate triple.Neigh.triple)
+        = "http://xmlns.com/foaf/0.1/age")
+  | _ -> Alcotest.fail "expected a Blame_triple explanation")
 
 (* ------------------------------------------------------------------ *)
 (* Recursion                                                          *)
@@ -251,7 +257,10 @@ let test_missing_label () =
   let session = Validate.session person_schema example2_graph in
   let outcome = Validate.check session (node "john") (label "Ghost") in
   check_bool "missing label fails" false outcome.Validate.ok;
-  check_bool "reason" true (outcome.Validate.reason <> None)
+  check_bool "reason" true (Validate.reason outcome <> None);
+  (match outcome.Validate.explain with
+  | Some (Explain.No_shape _) -> ()
+  | _ -> Alcotest.fail "expected a No_shape explanation")
 
 (* ------------------------------------------------------------------ *)
 (* Typing operations                                                  *)
