@@ -11,9 +11,11 @@
 
 open Cmdliner
 
-(* Link-time side effect: registers the compiled-DFA backend with
-   Shex.Validate, enabling --engine compiled / auto's DFA fallback. *)
+(* Link-time side effects: register the compiled-DFA backend with
+   Shex.Validate (enabling --engine compiled / auto's DFA fallback)
+   and the domain-parallel bulk runner (enabling --domains). *)
 let () = Shex_automaton.Engine.install ()
+let () = Shex_parallel.Bulk.install ()
 
 let read_file path =
   In_channel.with_open_bin path In_channel.input_all
@@ -150,8 +152,8 @@ let infer_cmd data_path label_name nodes_text =
       exit 2
 
 let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
-    engine engine_stats metrics trace_json trace_chrome trace_folded explain
-    trace show_sparql export_shexj json result_map quiet infer_nodes
+    engine domains engine_stats metrics trace_json trace_chrome trace_folded
+    explain trace show_sparql export_shexj json result_map quiet infer_nodes
     infer_label =
   (match infer_nodes with
   | Some nodes_text -> infer_cmd data_path infer_label nodes_text
@@ -219,11 +221,12 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
      sinks := Shex_explain.Trace.sink recorder :: !sinks;
      (* Exported traces carry the rendered residual expressions. *)
      Telemetry.set_residuals tele true;
+     (* Atomic: a run interrupted between finisher start and finish
+        must not leave a truncated trace where a previous good one
+        stood. *)
      let write path render =
        finishers :=
-         (fun () ->
-           Out_channel.with_open_bin path (fun oc ->
-               output_string oc (render ())))
+         (fun () -> Json.write_file_atomic path (render ()))
          :: !finishers
      in
      Option.iter
@@ -242,7 +245,7 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
   | fs -> Telemetry.set_sink tele (Some (fun ev -> List.iter (fun f -> f ev) fs)));
   let session =
     Shex.Validate.session ~engine:(engine_of_choice engine) ~telemetry:tele
-      schema graph
+      ~domains schema graph
   in
   let maybe_stats () = if engine_stats then print_engine_stats session in
   Fun.protect ~finally:finish_traces @@ fun () ->
@@ -373,6 +376,19 @@ let engine_arg =
            by table lookup) or $(b,auto) (counting matcher for \
            single-occurrence shapes, compiled automata otherwise).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Validate bulk checks (shape maps, whole-graph mode) across \
+           $(docv) OCaml domains (default 1 = sequential; values below 1 \
+           are treated as 1).  Verdicts, reports and merged telemetry \
+           totals are identical to sequential mode; trace sinks \
+           ($(b,--trace-json), $(b,--trace-chrome), $(b,--trace-folded)) \
+           force the sequential path so event streams stay ordered.")
+
 let engine_stats_arg =
   Arg.(
     value & flag
@@ -490,7 +506,8 @@ let cmd =
     (Cmd.info "shex-validate" ~doc ~man)
     Term.(
       const validate_cmd $ schema_arg $ data_arg $ node_arg $ shape_arg
-      $ shape_map_arg $ engine_arg $ engine_stats_arg $ metrics_arg
+      $ shape_map_arg $ engine_arg $ domains_arg $ engine_stats_arg
+      $ metrics_arg
       $ trace_json_arg $ trace_chrome_arg $ trace_folded_arg $ explain_arg
       $ trace_arg $ show_sparql_arg $ export_shexj_arg $ json_arg
       $ result_map_arg $ quiet_arg $ infer_arg $ infer_label_arg)

@@ -241,6 +241,15 @@ let add_stats a b =
     misses = a.misses + b.misses;
   }
 
+let sub_stats a b =
+  {
+    atoms = a.atoms - b.atoms;
+    states = a.states - b.states;
+    symbols = a.symbols - b.symbols;
+    hits = a.hits - b.hits;
+    misses = a.misses - b.misses;
+  }
+
 let pp_stats ppf s =
   let steps = s.hits + s.misses in
   Format.fprintf ppf "%d states, %d symbols, %d steps: %.1f%% cached" s.states

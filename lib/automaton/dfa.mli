@@ -81,3 +81,8 @@ val pp_stats : Format.formatter -> stats -> unit
 val zero_stats : stats
 val add_stats : stats -> stats -> stats
 (** Pointwise sum, for aggregating over the automata of a session. *)
+
+val sub_stats : stats -> stats -> stats
+(** Pointwise difference, for computing the growth since a previous
+    reading (the delta a repeated stats export pushes into a
+    telemetry registry). *)

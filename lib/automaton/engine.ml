@@ -23,14 +23,21 @@ let backend tele : Shex.Validate.compiled_backend =
   (* The registry half of the stats migration: the same counters,
      pushed into a session's telemetry so {!Shex.Validate.metrics}
      exposes every engine through one snapshot.  Table sizes are
-     gauges (a reading, not a rate); transition steps are counters. *)
+     gauges (a reading, not a rate); transition steps are counters.
+     Exports are deltas against the previous export, not absolute
+     [set]s: a registry that received merged per-domain shard stats
+     (Telemetry.merge) must keep them — an absolute overwrite from
+     this (idle) backend would erase the workers' readings. *)
+  let exported = ref Dfa.zero_stats in
   let export_stats tele =
     let s = summed () in
-    Telemetry.Counter.set (Telemetry.gauge tele "compiled_atoms") s.atoms;
-    Telemetry.Counter.set (Telemetry.gauge tele "compiled_states") s.states;
-    Telemetry.Counter.set (Telemetry.gauge tele "compiled_symbols") s.symbols;
-    Telemetry.Counter.set (Telemetry.counter tele "compiled_hits") s.hits;
-    Telemetry.Counter.set (Telemetry.counter tele "compiled_misses") s.misses
+    let d = Dfa.sub_stats s !exported in
+    exported := s;
+    Telemetry.Counter.add (Telemetry.gauge tele "compiled_atoms") d.atoms;
+    Telemetry.Counter.add (Telemetry.gauge tele "compiled_states") d.states;
+    Telemetry.Counter.add (Telemetry.gauge tele "compiled_symbols") d.symbols;
+    Telemetry.Counter.add (Telemetry.counter tele "compiled_hits") d.hits;
+    Telemetry.Counter.add (Telemetry.counter tele "compiled_misses") d.misses
   in
   { Shex.Validate.compile_shape; cache_stats; export_stats }
 

@@ -11,11 +11,15 @@ let reason e = Option.map Explain.to_string e.explain
 
 type t = { entries : entry list; typing : Typing.t }
 
+(* Routed through {!Validate.check_all} so every report — CLI shape
+   maps included — honours the session's [?domains] sharding; at
+   [domains = 1] check_all is exactly the sequential fold this used
+   to be. *)
 let run session associations =
+  let outcomes = Validate.check_all session associations in
   let entries, typing =
-    List.fold_left
-      (fun (entries, typing) (node, label) ->
-        let outcome = Validate.check session node label in
+    List.fold_left2
+      (fun (entries, typing) (node, label) outcome ->
         let entry =
           if outcome.Validate.ok then
             { node; label; status = Conformant; explain = None }
@@ -24,7 +28,7 @@ let run session associations =
               explain = outcome.Validate.explain }
         in
         (entry :: entries, Typing.combine typing outcome.Validate.typing))
-      ([], Typing.empty) associations
+      ([], Typing.empty) associations outcomes
   in
   { entries = List.rev entries; typing }
 

@@ -30,7 +30,10 @@ type t = {
 }
 
 val run : Validate.session -> (Rdf.Term.t * Label.t) list -> t
-(** Check every association and collect the outcomes. *)
+(** Check every association and collect the outcomes.  Runs through
+    {!Validate.check_all}, so a session created with [~domains:n]
+    (n > 1) validates the associations across [n] OCaml domains; the
+    report is identical to the sequential one either way. *)
 
 val run_shape_map : Validate.session -> Shape_map.t -> Rdf.Graph.t -> t
 (** Resolve the shape map against the graph, then {!run}. *)

@@ -54,6 +54,8 @@ type session = {
   engine : engine;
   schema : Schema.t;
   graph : Rdf.Graph.t;
+  domains : int;
+      (* requested bulk-validation parallelism; 1 = sequential *)
   proven : (Pair.t, bool) Hashtbl.t;  (* settled verdicts, memoised *)
   compiled : (Label.t, compiled) Hashtbl.t;
       (* per-label compilation: SORBE counting matcher or lazy DFA *)
@@ -68,8 +70,8 @@ type session = {
   fix_demands : Telemetry.Counter.t;  (* fixpoint_demands *)
 }
 
-let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled) schema
-    graph =
+let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
+    ?(domains = 1) schema graph =
   let backend =
     match (engine, !compiled_backend_factory) with
     | (Compiled | Auto), Some make -> Some (make telemetry)
@@ -80,6 +82,7 @@ let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled) schema
     | _, _ -> None
   in
   { engine; schema; graph;
+    domains = max 1 domains;
     proven = Hashtbl.create 256;
     compiled = Hashtbl.create 16;
     backend;
@@ -96,6 +99,8 @@ let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled) schema
 let telemetry st = st.tele
 let schema st = st.schema
 let graph st = st.graph
+let engine st = st.engine
+let domains st = st.domains
 
 let compile st l e =
   match Hashtbl.find_opt st.compiled l with
@@ -219,13 +224,27 @@ let rec evaluate st ~value ~demand ((n, l) : Pair.t) =
              [ ("node", Telemetry.String (Rdf.Term.to_string n));
                ("shape", Telemetry.String (Label.to_string l));
                ("engine", Telemetry.String matcher_name) ]);
-      let ok = run () in
-      if tracing then
-        Telemetry.emit st.tele
-          (Telemetry.span_end "check"
-             [ ("node", Telemetry.String (Rdf.Term.to_string n));
-               ("shape", Telemetry.String (Label.to_string l));
-               ("ok", Telemetry.Bool ok) ]);
+      (* The span must close even when the matcher raises (a user
+         value-set predicate, an out-of-memory shard worker): an
+         unbalanced begin would corrupt the span tree of every later
+         event the sink sees. *)
+      let span_end fields =
+        if tracing then
+          Telemetry.emit st.tele
+            (Telemetry.span_end "check"
+               (("node", Telemetry.String (Rdf.Term.to_string n))
+               :: ("shape", Telemetry.String (Label.to_string l))
+               :: fields))
+      in
+      let ok =
+        match run () with
+        | ok -> ok
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            span_end [ ("raised", Telemetry.String (Printexc.to_string e)) ];
+            Printexc.raise_with_backtrace e bt
+      in
+      span_end [ ("ok", Telemetry.Bool ok) ];
       (ok, !used)
 
 (* Greatest-fixpoint solver (chaotic iteration).  All demanded pairs
@@ -336,6 +355,29 @@ let check st n l =
   else { ok = false; typing = Typing.empty; explain = failure_explain st n l }
 
 let check_bool st n l = verdict st (n, l)
+
+(* The parallel subsystem (lib/parallel) registers its bulk runner
+   here, mirroring the compiled-backend hook above: core owns the
+   contract and the decision of when sharding applies; the parallel
+   library owns the domains.  Sequential fallbacks keep the observable
+   behaviour at [domains = 1] byte-for-byte identical to [check] in a
+   fold, and tracing always forces the sequential path because event
+   sinks (and the span tree they rebuild) are single-threaded. *)
+let bulk_checker :
+    (session -> (Rdf.Term.t * Label.t) list -> outcome list) option ref =
+  ref None
+
+let set_bulk_checker f = bulk_checker := Some f
+let bulk_checker_installed () = Option.is_some !bulk_checker
+
+let check_all st associations =
+  match !bulk_checker with
+  | Some bulk
+    when st.domains > 1
+         && not (Telemetry.tracing st.tele)
+         && List.compare_length_with associations 2 >= 0 ->
+      bulk st associations
+  | _ -> List.map (fun (n, l) -> check st n l) associations
 
 let validate_graph st =
   let nodes = Rdf.Graph.nodes st.graph in

@@ -48,10 +48,18 @@ type session
 val session :
   ?engine:engine ->
   ?telemetry:Telemetry.t ->
+  ?domains:int ->
   Schema.t ->
   Rdf.Graph.t ->
   session
-(** [telemetry] (default {!Telemetry.disabled}) receives every engine
+(** [domains] (default [1], values below 1 are clamped to 1) is the
+    bulk-validation parallelism {!check_all} may use: with [domains = n
+    > 1] and the parallel runner linked (see {!set_bulk_checker}), a
+    bulk check shards its associations over [n] OCaml domains.  It
+    never affects single {!check}/{!check_bool} calls, and [1]
+    preserves today's sequential behaviour exactly.
+
+    [telemetry] (default {!Telemetry.disabled}) receives every engine
     counter of the session: [deriv_steps] and the
     [deriv_size_before]/[deriv_size_after] histograms from the
     derivative matcher, [backtrack_branches] and
@@ -65,6 +73,8 @@ val session :
 val telemetry : session -> Telemetry.t
 val schema : session -> Schema.t
 val graph : session -> Rdf.Graph.t
+val engine : session -> engine
+val domains : session -> int
 
 val metrics : session -> Telemetry.snapshot
 (** The session's unified metrics snapshot.  Engine counters are read
@@ -145,6 +155,37 @@ val reason : outcome -> string option
 val check : session -> Rdf.Term.t -> Label.t -> outcome
 
 val check_bool : session -> Rdf.Term.t -> Label.t -> bool
+
+val check_all : session -> (Rdf.Term.t * Label.t) list -> outcome list
+(** Check a list of associations, one {!outcome} per association in
+    the input order.  With [domains = 1] (the default) this is exactly
+    [List.map (check session)] — the sequential semantics.  With
+    [domains > 1] and a bulk runner installed (see
+    {!set_bulk_checker}), the associations are sharded over that many
+    OCaml domains, each shard validated in a private sub-session, and
+    the outcomes re-assembled in input order; per-shard telemetry is
+    folded back into the session registry with {!Telemetry.merge}.
+    Verdicts, typings and explanations are identical either way
+    (the greatest fixpoint is canonical, independent of evaluation
+    order).  Tracing sessions (a telemetry sink installed) always run
+    sequentially so the event stream stays single-threaded and
+    byte-identical. *)
+
+(** {1 Parallel bulk runner}
+
+    Like the compiled backend, the domain-parallel runner lives in a
+    library above core ([shex_parallel]) and registers itself here at
+    link time, so core never depends on [Domain]. *)
+
+val set_bulk_checker :
+  (session -> (Rdf.Term.t * Label.t) list -> outcome list) -> unit
+(** Install the bulk runner {!check_all} dispatches to (called by
+    [Shex_parallel.Bulk.install], which the library also runs at link
+    time).  The runner is only consulted for sessions with
+    [domains > 1], without an active trace sink, and with at least two
+    associations. *)
+
+val bulk_checker_installed : unit -> bool
 
 val validate_graph : session -> Typing.t
 (** Checks every node of the graph against every label of the schema

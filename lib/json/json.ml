@@ -99,6 +99,23 @@ let to_string ?(minify = false) t =
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
+(* Atomic file output: write to a temporary file in the destination
+   directory (same filesystem, so the rename is atomic) and rename
+   over the target.  An interrupted writer leaves the old file — or
+   no file — never a truncated one. *)
+let write_file_atomic path content =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  match
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc content)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let to_file ?minify path t = write_file_atomic path (to_string ?minify t)
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                            *)
 (* ------------------------------------------------------------------ *)

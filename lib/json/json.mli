@@ -35,6 +35,17 @@ val to_string : ?minify:bool -> t -> string
 
 val pp : Format.formatter -> t -> unit
 
+val write_file_atomic : string -> string -> unit
+(** [write_file_atomic path content] writes [content] to a temporary
+    file in [path]'s directory and renames it over [path], so readers
+    never observe a truncated file even if the writer is interrupted
+    mid-run.  On error the temporary file is removed and the previous
+    [path] (if any) is untouched. *)
+
+val to_file : ?minify:bool -> string -> t -> unit
+(** [to_file path t] — {!to_string} rendered through
+    {!write_file_atomic}. *)
+
 (** {1 Parsing} *)
 
 val of_string : string -> (t, string) result

@@ -1,0 +1,30 @@
+(* A fork/join pool over OCaml 5 domains.  Deliberately minimal: one
+   spawn per task per run, no work stealing, no shared queues — the
+   bulk-validation workload is a handful of coarse shards, so spawn
+   cost is noise and the absence of shared mutable state is the whole
+   point.  Task 0 runs on the calling domain: [run tasks] with one
+   task spawns nothing, and with [n] tasks uses [n - 1] fresh
+   domains. *)
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run (tasks : (unit -> 'a) list) : 'a list =
+  match tasks with
+  | [] -> []
+  | first :: rest ->
+      let capture f = try Value (f ()) with
+        | e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      let spawned = List.map (fun f -> Domain.spawn (fun () -> capture f)) rest in
+      (* The caller works its own shard while the others run; capture
+         its exception too so every domain is joined before anything
+         re-raises. *)
+      let head = capture first in
+      let outcomes = head :: List.map Domain.join spawned in
+      List.map
+        (function
+          | Value v -> v
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt)
+        outcomes

@@ -1,0 +1,20 @@
+(** Fork/join over OCaml 5 domains.
+
+    The shape-map semantics (Boneva et al.; §8 of the source paper)
+    makes bulk validation embarrassingly parallel: each focus node's
+    verdict is a function of the graph and schema alone, so shards
+    share only immutable data.  This pool is the minimal fork/join
+    that exploits it — spawn one domain per task beyond the first,
+    run the first task on the calling domain, join everything. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism
+    the runtime suggests. *)
+
+val run : (unit -> 'a) list -> 'a list
+(** [run tasks] evaluates every task to completion — the head on the
+    calling domain, the rest each on a fresh domain — and returns
+    their results in task order.  Every domain is joined before the
+    call returns, even on failure; if any task raised, the first
+    raising task's exception is re-raised with its original
+    backtrace. *)

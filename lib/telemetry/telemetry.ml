@@ -34,7 +34,14 @@ module Histogram = struct
 
   let observe h v =
     if h.active then begin
-      h.counts.(bucket_index v) <- h.counts.(bucket_index v) + 1;
+      (* Observations can legitimately be zero (an empty neighbourhood)
+         or negative (a duration rounded down past a clock step, a
+         sub-microsecond interval truncated to 0 then offset): clamp to
+         the first bucket so [sum]/[max] stay consistent with the
+         bucket counts instead of drifting negative. *)
+      let v = if v < 0 then 0 else v in
+      let i = bucket_index v in
+      h.counts.(i) <- h.counts.(i) + 1;
       h.count <- h.count + 1;
       h.sum <- h.sum + v;
       if v > h.max then h.max <- v
@@ -141,6 +148,41 @@ let span t name =
         let s = { Span.name; count = 0; total = 0.; active = true } in
         Hashtbl.replace t.spans name s;
         s
+
+(* ------------------------------------------------------------------ *)
+(* Merging                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold one registry into another after a fork/join: counters and
+   gauges add (a gauge reading such as compiled_states is a resource
+   count in the merged world, so summing per-domain readings is the
+   lossless combination), histograms add bucket-by-bucket with the
+   max of maxima, spans add counts and totals.  Instruments missing
+   on either side are created on [into], so no observation is lost. *)
+let merge ~into src =
+  if into.on && src.on then begin
+    Hashtbl.iter
+      (fun name (c : Counter.t) ->
+        let dst = make_counter into c.kind name in
+        Counter.add dst c.v)
+      src.counters;
+    Hashtbl.iter
+      (fun name (h : Histogram.t) ->
+        let dst = histogram into name in
+        Array.iteri
+          (fun i n -> dst.counts.(i) <- dst.counts.(i) + n)
+          h.counts;
+        dst.count <- dst.count + h.count;
+        dst.sum <- dst.sum + h.sum;
+        if h.max > dst.max then dst.max <- h.max)
+      src.histograms;
+    Hashtbl.iter
+      (fun name (s : Span.t) ->
+        let dst = span into name in
+        dst.count <- dst.count + s.count;
+        dst.total <- dst.total +. s.total)
+      src.spans
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Events                                                             *)

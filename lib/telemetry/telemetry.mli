@@ -93,6 +93,18 @@ val gauge : t -> string -> Counter.t
 val histogram : t -> string -> Histogram.t
 val span : t -> string -> Span.t
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every instrument of [src] into [into]:
+    counters and gauges add their values (a merged gauge reading is
+    the sum of the per-domain resource counts), histograms add
+    bucket-by-bucket with count/sum added and the max of maxima, and
+    spans add run counts and total seconds.  Instruments missing in
+    [into] are created, so the merge is lossless.  This is the join
+    half of domain-parallel validation: each worker owns a private
+    registry (the registry itself is not thread-safe) and the parent
+    folds them in after {!Domain.join}.  No-op when either registry
+    is disabled.  [src] is left unchanged. *)
+
 (** {1 Structured events}
 
     The sink receives one {!event} per emission — the derivative

@@ -1,0 +1,23 @@
+(* Shared string-literal escaping for the Turtle and N-Triples
+   writers.  Beyond the named escapes, every other C0 control
+   character (and DEL) is written as \u00XX: emitting them raw
+   produces documents that other parsers reject and that do not
+   survive CRLF-normalising transports — the round-trip property
+   test feeds exactly these through parse ∘ write. *)
+let string_body s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 || Char.code c = 0x7F ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

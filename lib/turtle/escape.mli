@@ -1,0 +1,12 @@
+(** String-literal escaping shared by the Turtle and N-Triples
+    writers. *)
+
+val string_body : string -> string
+(** Escape a literal's lexical form for emission between double
+    quotes: the named backslash escapes for quote, backslash, LF, CR,
+    TAB, BS and FF, and [\u00XX] for every other C0 control character
+    and DEL.  The
+    lexer decodes all of these back to the original bytes, so
+    [parse (write g) = g] holds even for lexical forms containing
+    control characters that raw emission would corrupt (CR/CRLF
+    normalisation in transit) or make unparseable elsewhere. *)

@@ -42,6 +42,11 @@ let advance st =
   | Some '\n' ->
       st.line <- st.line + 1;
       st.col <- 1
+  | Some '\r' when peek2 st <> Some '\n' ->
+      (* A bare CR is a line ending of its own (classic-Mac or
+         mixed-EOL input); in a CRLF pair only the LF counts. *)
+      st.line <- st.line + 1;
+      st.col <- 1
   | Some _ -> st.col <- st.col + 1
   | None -> ());
   st.pos <- st.pos + 1
@@ -267,9 +272,12 @@ let next_token st =
     match peek st with
     | Some c when is_ws c -> advance st; skip ()
     | Some '#' ->
+        (* A comment ends at LF or at a bare CR: stopping only at LF
+           made a CR-terminated comment swallow the rest of the
+           document's data on CR-only line endings. *)
         let rec to_eol () =
           match peek st with
-          | Some '\n' | None -> ()
+          | Some '\n' | Some '\r' | None -> ()
           | Some _ -> advance st; to_eol ()
         in
         to_eol (); skip ()

@@ -52,19 +52,7 @@ let strict_parse src =
       in
       check tokens
 
-let escape_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let escape_string = Escape.string_body
 
 let term_text = function
   | Rdf.Term.Iri iri -> Printf.sprintf "<%s>" (Rdf.Iri.to_string iri)

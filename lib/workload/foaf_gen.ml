@@ -109,3 +109,20 @@ let person_schema () =
                    person) ] ) ]
   in
   (schema, person)
+
+let flat_person_schema () =
+  let person = Shex.Label.of_string "Person" in
+  let schema =
+    Shex.Schema.make_exn
+      [ ( person,
+          Shex.Rse.and_all
+            [ Shex.Rse.arc_v (Shex.Value_set.Pred (foaf "age"))
+                Shex.Value_set.xsd_integer;
+              Shex.Rse.plus
+                (Shex.Rse.arc_v (Shex.Value_set.Pred (foaf "name"))
+                   Shex.Value_set.xsd_string);
+              Shex.Rse.star
+                (Shex.Rse.arc_v (Shex.Value_set.Pred (foaf "knows"))
+                   (Shex.Value_set.Obj_kind Shex.Value_set.Iri_kind)) ] ) ]
+  in
+  (schema, person)

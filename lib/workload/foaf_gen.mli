@@ -38,3 +38,11 @@ val person_schema : unit -> Shex.Schema.t * Shex.Label.t
 (** The Example 1/14 schema:
     [person ↦ foaf:age→xsd:integer ‖ (foaf:name→xsd:string)+ ‖
     (foaf:knows→@person)⋆], and its label. *)
+
+val flat_person_schema : unit -> Shex.Schema.t * Shex.Label.t
+(** The non-recursive variant: [foaf:knows] objects only have to be
+    IRIs instead of conforming [@person]s.  Reference-free, so every
+    focus node's check is fully independent — the workload for which
+    parallel and sequential validation do {e exactly} the same work
+    (identical telemetry counter totals, not just identical verdicts;
+    experiment E12). *)

@@ -49,6 +49,15 @@ Shape maps select nodes by triple patterns; reports can be JSON:
   <http://example.org/mary>@!<Person>
   [1]
 
+Bulk validation sharded over OCaml domains produces the identical report:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --shape-map '{FOCUS foaf:age _}@<Person>' --result-map --domains 2
+  <http://example.org/bob>@<Person>,
+  <http://example.org/john>@<Person>,
+  <http://example.org/mary>@!<Person>
+  [1]
+
   $ shex-validate --schema person.shex --data people.ttl \
   >   --shape-map 'ex:john@<Person>' --json
   {

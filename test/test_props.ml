@@ -276,6 +276,71 @@ let prop_ntriples_roundtrip =
       | Ok g' -> Rdf.Graph.equal g g'
       | Error _ -> false)
 
+(* Literal lexical forms over a hostile character set: C0 controls
+   (including CR, LF, BS, FF), DEL, quotes and backslashes.  The
+   writers must escape all of these (raw controls are unparseable or
+   corrupted by CRLF-normalising transports); the lexer must decode
+   them back to the original bytes. *)
+let hostile_chars =
+  [ '\000'; '\001'; '\n'; '\r'; '\t'; '\b'; '\012'; '\027'; '\127';
+    '"'; '\\'; 'a'; 'z'; ' ' ]
+
+let gen_hostile_literal_graph =
+  QCheck.Gen.(
+    let gen_string =
+      string_size ~gen:(oneofl hostile_chars) (int_bound 8)
+    in
+    let gen_triple =
+      oneofl preds >>= fun p ->
+      gen_string >|= fun s -> t3 "n" p (Rdf.Term.str s)
+    in
+    list_size (int_range 1 4) gen_triple >|= Rdf.Graph.of_list)
+
+let arb_hostile_literal_graph =
+  QCheck.make
+    ~print:(fun g -> Format.asprintf "%a" Rdf.Graph.pp g)
+    gen_hostile_literal_graph
+
+let prop_turtle_control_char_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"turtle roundtrip of control-character literals"
+    arb_hostile_literal_graph (fun g ->
+      match Turtle.Parse.parse_graph (Turtle.Write.to_string g) with
+      | Ok g' -> Rdf.Graph.equal g g'
+      | Error _ -> false)
+
+let prop_ntriples_control_char_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"n-triples roundtrip of control-character literals"
+    arb_hostile_literal_graph (fun g ->
+      match Turtle.Ntriples.strict_parse (Turtle.Ntriples.to_string g) with
+      | Ok g' -> Rdf.Graph.equal g g'
+      | Error _ -> false)
+
+(* Because the writers escape every control character, the only line
+   breaks in a serialised document are structural — so rewriting them
+   to CRLF (a Windows checkout) or bare CR (a pre-OSX transport) must
+   not change the parsed graph.  A leading comment line exercises the
+   comment skipper on each ending too. *)
+let with_line_endings nl doc =
+  String.concat nl (String.split_on_char '\n' doc)
+
+let prop_line_ending_invariance =
+  QCheck.Test.make ~count:200
+    ~name:"turtle parsing is invariant under CRLF / CR line endings"
+    (QCheck.pair arb_graph arb_hostile_literal_graph)
+    (fun (g1, g2) ->
+      let g =
+        Rdf.Graph.fold Rdf.Graph.add g1 g2
+      in
+      let doc = "# header comment\n" ^ Turtle.Write.to_string g in
+      List.for_all
+        (fun nl ->
+          match Turtle.Parse.parse_graph (with_line_endings nl doc) with
+          | Ok g' -> Rdf.Graph.equal g g'
+          | Error _ -> false)
+        [ "\r\n"; "\r" ])
+
 let prop_isomorphism_bnode_rename =
   (* Renaming all blank-node labels preserves isomorphism. *)
   QCheck.Test.make ~count:100 ~name:"isomorphic under bnode renaming"
@@ -419,6 +484,9 @@ let tests =
       prop_open_up_ignores_unmentioned;
       prop_turtle_roundtrip;
       prop_ntriples_roundtrip;
+      prop_turtle_control_char_roundtrip;
+      prop_ntriples_control_char_roundtrip;
+      prop_line_ending_invariance;
       prop_isomorphism_bnode_rename;
       prop_canonical_agrees_with_renaming;
       prop_skolem_roundtrip;
