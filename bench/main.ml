@@ -898,6 +898,46 @@ let e12 () =
      on a multicore host, absent on a single-core container.@."
 
 (* ------------------------------------------------------------------ *)
+(* E13: differential fuzz campaign                                     *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  header
+    "E13 Differential fuzz campaign \xe2\x80\x94 every engine arm vs the \
+     derivative reference over seeded random workloads";
+  let count = if !smoke then 50 else if !quick then 300 else 1000 in
+  row "  %-10s %-7s %-12s %-9s %-11s@." "mode" "seeds" "wall" "seeds/s"
+    "divergences";
+  List.iter
+    (fun (name, mode) ->
+      let t0 = Unix.gettimeofday () in
+      let summary = Oracle.run_campaign ~mode ~first_seed:0 ~count () in
+      let dt = Unix.gettimeofday () -. t0 in
+      (* The acceptance criterion: a campaign over the fixed seed range
+         must find nothing — any divergence is a cross-engine bug. *)
+      (match summary.Oracle.findings with
+      | [] -> ()
+      | f :: _ ->
+          failwith
+            (Printf.sprintf "E13: %s-mode divergence at seed %d: %s" name
+               f.Oracle.seed f.Oracle.divergence.Oracle.detail));
+      jrow
+        [ ("mode", jstr name); ("seeds", jint count);
+          ("wall_ms", jflt (ms dt));
+          ("seeds_per_s", jflt (float_of_int count /. dt));
+          ("divergences", jint 0) ];
+      row "  %-10s %-7d %9.1f ms %9.0f %-11d@." name count (ms dt)
+        (float_of_int count /. dt)
+        0)
+    [ ("surface", Workload.Rand_gen.Surface);
+      ("extended", Workload.Rand_gen.Extended) ];
+  row
+    "@.  Expectation: zero divergences \xe2\x80\x94 the arms (backtracking, \
+     SORBE, compiled automata,@.  2- and 4-domain bulk, SPARQL on its \
+     fragment) agree with the derivative reference@.  on verdicts and \
+     blame sets across the whole seed range.@."
+
+(* ------------------------------------------------------------------ *)
 (* Chrome trace export (--trace-chrome)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1001,7 +1041,7 @@ let micro () =
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12) ]
+    ("E12", e12); ("E13", e13) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1045,7 +1085,7 @@ let () =
     | a :: _ when String.length a > 1 && a.[0] = '-' ->
         Printf.eprintf
           "unknown option: %s\n\
-           usage: main.exe [E1 .. E12] [--quick] [--smoke] [--json FILE] \
+           usage: main.exe [E1 .. E13] [--quick] [--smoke] [--json FILE] \
            [--trace-chrome FILE] [--domains N] [--micro]\n"
           a;
         exit 2

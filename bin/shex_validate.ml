@@ -7,7 +7,8 @@
      shex-validate --schema s.shex --data d.ttl \
                    --shape-map '{FOCUS a ex:T}@<T>' --json
      shex-validate --schema s.shex --show-sparql Person
-     shex-validate --schema s.shex --export-shexj *)
+     shex-validate --schema s.shex --export-shexj
+     shex-validate --oracle seeds=500,dir=findings *)
 
 open Cmdliner
 
@@ -151,7 +152,106 @@ let infer_cmd data_path label_name nodes_text =
       Printf.eprintf "%s\n" msg;
       exit 2
 
-let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
+(* --oracle seeds=N[,start=S][,mode=surface|extended][,dir=DIR]: run
+   the cross-engine differential campaign and exit — 0 when every arm
+   agreed on every seed, 1 when divergences were found (shrunk repro
+   files land in DIR when given).  --oracle replay=FILE re-runs a
+   repro document instead: 0 when every arm now agrees. *)
+let oracle_cmd spec =
+  let seeds = ref None
+  and start = ref 0
+  and mode = ref Workload.Rand_gen.Surface
+  and dir = ref None
+  and replay = ref None in
+  let int_value key v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> n
+    | Some _ | None ->
+        failwith
+          (Printf.sprintf "--oracle: %s must be a non-negative integer \
+                           (got %S)" key v)
+  in
+  List.iter
+    (fun part ->
+      match String.index_opt part '=' with
+      | None ->
+          failwith
+            (Printf.sprintf
+               "--oracle: expected key=value, got %S (known keys: seeds, \
+                start, mode, dir, replay)"
+               part)
+      | Some i ->
+          let k = String.sub part 0 i
+          and v = String.sub part (i + 1) (String.length part - i - 1) in
+          (match (k, v) with
+          | "seeds", v -> seeds := Some (int_value "seeds" v)
+          | "start", v -> start := int_value "start" v
+          | "mode", "surface" -> mode := Workload.Rand_gen.Surface
+          | "mode", "extended" -> mode := Workload.Rand_gen.Extended
+          | "mode", v ->
+              failwith
+                (Printf.sprintf
+                   "--oracle: mode must be surface or extended (got %S)" v)
+          | "dir", v -> dir := Some v
+          | "replay", v -> replay := Some v
+          | k, _ ->
+              failwith
+                (Printf.sprintf
+                   "--oracle: unknown key %S (known keys: seeds, start, \
+                    mode, dir, replay)"
+                   k)))
+    (String.split_on_char ',' spec)
+  |> ignore;
+  (match !replay with
+  | Some path -> (
+      if !seeds <> None then
+        failwith "--oracle: replay= cannot be combined with seeds=";
+      match Oracle.replay_file path with
+      | Ok () ->
+          Printf.printf "oracle: %s replays clean (all arms agree)\n" path;
+          exit 0
+      | Error detail ->
+          Printf.eprintf "oracle: %s still diverges: %s\n" path detail;
+          exit 1)
+  | None -> ());
+  let count =
+    match !seeds with
+    | Some n -> n
+    | None -> failwith "--oracle: a seeds=N entry is required"
+  in
+  Option.iter
+    (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
+    !dir;
+  let summary =
+    Oracle.run_campaign ~mode:!mode ?dir:!dir ~log:prerr_endline
+      ~first_seed:!start ~count ()
+  in
+  let mode_text =
+    match !mode with
+    | Workload.Rand_gen.Surface -> "surface"
+    | Workload.Rand_gen.Extended -> "extended"
+  in
+  if summary.findings = [] then begin
+    Printf.printf "oracle: %d seeds checked (%s mode, seeds %d-%d): no \
+                   divergences\n"
+      count mode_text !start
+      (!start + count - 1);
+    exit 0
+  end
+  else begin
+    Printf.printf "oracle: %d seeds checked (%s mode): %d divergence%s\n"
+      count mode_text
+      (List.length summary.findings)
+      (if List.length summary.findings = 1 then "" else "s");
+    List.iter
+      (fun (f : Oracle.finding) ->
+        Printf.printf "  seed %d: %s%s\n" f.seed f.divergence.detail
+          (match f.repro with Some p -> " [" ^ p ^ "]" | None -> ""))
+      summary.findings;
+    exit 1
+  end
+
+let run_validate schema_path data_path node_opt shape_opt shape_map_opt
     engine domains engine_stats metrics trace_json trace_chrome trace_folded
     explain trace show_sparql export_shexj json result_map quiet infer_nodes
     infer_label =
@@ -306,6 +406,24 @@ let validate_cmd schema_path data_path node_opt shape_opt shape_map_opt
       end
   | None, _, _ ->
       Printf.eprintf "--node and --shape must be given together\n";
+      exit 2
+
+(* Library errors (bad IRIs, out-of-fragment schemas, filesystem
+   trouble) must surface as one-line diagnostics with exit code 2,
+   not as raw backtraces through cmdliner's catch-all. *)
+let validate_cmd oracle schema_path data_path node_opt shape_opt
+    shape_map_opt engine domains engine_stats metrics trace_json
+    trace_chrome trace_folded explain trace show_sparql export_shexj json
+    result_map quiet infer_nodes infer_label =
+  try
+    (match oracle with Some spec -> oracle_cmd spec | None -> ());
+    run_validate schema_path data_path node_opt shape_opt shape_map_opt
+      engine domains engine_stats metrics trace_json trace_chrome
+      trace_folded explain trace show_sparql export_shexj json result_map
+      quiet infer_nodes infer_label
+  with
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+      Printf.eprintf "error: %s\n" msg;
       exit 2
 
 let schema_arg =
@@ -489,6 +607,23 @@ let result_map_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only set the exit code.")
 
+let oracle_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "oracle" ] ~docv:"SPEC"
+        ~doc:
+          "Run the cross-engine differential oracle instead of \
+           validating: generate seeded random workloads, run every \
+           applicable engine (derivatives, backtracking, SORBE, \
+           compiled automata, SPARQL, 2- and 4-domain bulk), and \
+           delta-shrink any disagreement.  $(docv) is \
+           $(b,seeds=N)[$(b,,start=S)][$(b,,mode=surface|extended)]\
+           [$(b,,dir=DIR)]; shrunk repro files are written to \
+           $(b,DIR).  Exits 0 when every arm agreed on every seed, 1 \
+           otherwise.  $(b,replay=FILE) re-runs a previously written \
+           repro document instead.")
+
 let cmd =
   let doc = "validate RDF graphs against Shape Expression schemas" in
   let man =
@@ -505,7 +640,8 @@ let cmd =
   Cmd.v
     (Cmd.info "shex-validate" ~doc ~man)
     Term.(
-      const validate_cmd $ schema_arg $ data_arg $ node_arg $ shape_arg
+      const validate_cmd $ oracle_arg $ schema_arg $ data_arg $ node_arg
+      $ shape_arg
       $ shape_map_arg $ engine_arg $ domains_arg $ engine_stats_arg
       $ metrics_arg
       $ trace_json_arg $ trace_chrome_arg $ trace_folded_arg $ explain_arg

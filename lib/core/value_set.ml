@@ -40,7 +40,10 @@ let kind_mem k (o : Rdf.Term.t) =
 let rec obj_mem vo (o : Rdf.Term.t) =
   match vo with
   | Obj_any -> true
-  | Obj_in terms -> List.exists (Rdf.Term.equal o) terms
+  (* Value-space membership (SPARQL-aligned): "01"^^xsd:integer is in
+     {1}.  [obj_equal] below stays syntactic — it is an AST identity
+     used for normalisation and hash-consing, not set membership. *)
+  | Obj_in terms -> List.exists (Rdf.Term.value_equal o) terms
   | Obj_datatype dt -> (
       match o with
       | Literal l -> Rdf.Literal.has_datatype l dt

@@ -56,6 +56,10 @@ val xsd_date : obj
 val pred_equal : pred -> pred -> bool
 val obj_equal : obj -> obj -> bool
 
+val pred_members : pred -> Rdf.Iri.t list option
+(** The finite enumeration when the set is one ([Pred], [Pred_in]);
+    [None] for stems, wildcards and complements. *)
+
 val pred_disjoint : pred -> pred -> bool
 (** Sound (possibly incomplete) syntactic disjointness test: [true]
     guarantees no predicate belongs to both sets.  Used by the SORBE

@@ -1,0 +1,423 @@
+type kind = Verdict | Report
+
+type divergence = { arm : string; kind : kind; detail : string }
+
+let assoc_text (n, l) =
+  Printf.sprintf "%s@<%s>" (Rdf.Term.to_string n) (Shex.Label.to_string l)
+
+(* ------------------------------------------------------------------ *)
+(* Arms                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The reference arm: the paper's derivative engine, sequential. *)
+let reference schema graph assocs =
+  let session = Shex.Validate.session ~engine:Shex.Validate.Derivatives schema graph in
+  let report = Shex.Report.run session assocs in
+  let oks =
+    List.map
+      (fun (e : Shex.Report.entry) -> e.status = Shex.Report.Conformant)
+      report.entries
+  in
+  (oks, Json.to_string ~minify:true (Shex.Report.to_json report))
+
+(* Engine/domain arms all produce a full report over the same
+   association list, so verdicts, blame sets and JSON rendering are
+   compared in one shot. *)
+let engine_arms () =
+  [ ("backtrack", Shex.Validate.Backtracking, 1);
+    ("auto", Shex.Validate.Auto, 1) ]
+  @ (if Shex.Validate.compiled_backend_installed () then
+       [ ("compiled", Shex.Validate.Compiled, 1) ]
+     else [])
+  @
+  if Shex.Validate.bulk_checker_installed () then
+    [ ("domains=2", Shex.Validate.Derivatives, 2);
+      ("domains=4", Shex.Validate.Derivatives, 4) ]
+  else []
+
+let compare_full ~arm ~ref_oks ~ref_json assocs (oks, json) =
+  let rec first_mismatch assocs ref_oks oks =
+    match (assocs, ref_oks, oks) with
+    | a :: _, r :: _, o :: _ when r <> o -> Some (a, r, o)
+    | _ :: assocs', _ :: ref', _ :: oks' -> first_mismatch assocs' ref' oks'
+    | _, _, _ -> None
+  in
+  match first_mismatch assocs ref_oks oks with
+  | Some (a, r, o) ->
+      Some
+        { arm;
+          kind = Verdict;
+          detail =
+            Printf.sprintf "%s: verdict mismatch at %s (deriv=%b %s=%b)" arm
+              (assoc_text a) r arm o }
+  | None ->
+  if json <> ref_json then
+    Some
+      { arm;
+        kind = Report;
+        detail =
+          Printf.sprintf "%s: verdicts agree but report JSON differs" arm }
+  else None
+
+(* Direct SORBE arm: shapes in the counting fragment (no focus
+   constraint, no shape references) matched by [Sorbe.matches] alone,
+   outside the Auto dispatch — this is what pins the [Sorbe.of_rse]
+   applicability analysis itself. *)
+let sorbe_arm schema graph assocs ref_oks =
+  let compiled =
+    List.filter_map
+      (fun (l, (s : Shex.Schema.shape)) ->
+        if s.focus <> None || Shex.Rse.has_ref s.expr then None
+        else
+          Option.map (fun constrs -> (l, constrs)) (Shex.Sorbe.of_rse s.expr))
+      (Shex.Schema.shapes schema)
+  in
+  let rec first_mismatch assocs oks =
+    match (assocs, oks) with
+    | [], _ | _, [] -> None
+    | ((n, l) as a) :: assocs', ok :: oks' -> (
+        match List.assoc_opt l compiled with
+        | None -> first_mismatch assocs' oks'
+        | Some constrs ->
+            let sorbe_ok = Shex.Sorbe.matches n graph constrs in
+            if sorbe_ok <> ok then
+              Some
+                { arm = "sorbe";
+                  kind = Verdict;
+                  detail =
+                    Printf.sprintf
+                      "sorbe: verdict mismatch at %s (deriv=%b sorbe=%b)"
+                      (assoc_text a) ok sorbe_ok }
+            else first_mismatch assocs' oks')
+  in
+  if compiled = [] then None else first_mismatch assocs ref_oks
+
+(* SPARQL arm: reference-free, non-inverse, singleton-predicate shapes
+   without focus constraints, compiled per §3 and evaluated over the
+   graph.  The generated query anchors the focus as a subject, so only
+   nodes with at least one outgoing triple are comparable. *)
+let sparql_arm schema graph assocs ref_oks =
+  let compiled =
+    List.filter_map
+      (fun (l, (s : Shex.Schema.shape)) ->
+        if s.focus <> None then None
+        else
+          match Sparql.Gen.matching_nodes graph s.expr with
+          | Ok nodes -> Some (l, nodes)
+          | Error _ -> None)
+      (Shex.Schema.shapes schema)
+  in
+  let rec first_mismatch assocs oks =
+    match (assocs, oks) with
+    | [], _ | _, [] -> None
+    | ((n, l) as a) :: assocs', ok :: oks' -> (
+        match List.assoc_opt l compiled with
+        | None -> first_mismatch assocs' oks'
+        | Some nodes ->
+            if Rdf.Graph.is_empty (Rdf.Graph.neighbourhood n graph) then
+              first_mismatch assocs' oks'
+            else
+              let sparql_ok = List.exists (Rdf.Term.equal n) nodes in
+              if sparql_ok <> ok then
+                Some
+                  { arm = "sparql";
+                    kind = Verdict;
+                    detail =
+                      Printf.sprintf
+                        "sparql: verdict mismatch at %s (deriv=%b sparql=%b)"
+                        (assoc_text a) ok sparql_ok }
+              else first_mismatch assocs' oks')
+  in
+  if compiled = [] then None else first_mismatch assocs ref_oks
+
+let divergences schema graph assocs =
+  let ref_oks, ref_json = reference schema graph assocs in
+  let engine_findings =
+    List.filter_map
+      (fun (arm, engine, domains) ->
+        let session = Shex.Validate.session ~engine ~domains schema graph in
+        let report = Shex.Report.run session assocs in
+        let oks =
+          List.map
+            (fun (e : Shex.Report.entry) ->
+              e.status = Shex.Report.Conformant)
+            report.entries
+        in
+        let json = Json.to_string ~minify:true (Shex.Report.to_json report) in
+        compare_full ~arm ~ref_oks ~ref_json assocs (oks, json))
+      (engine_arms ())
+  in
+  let extra =
+    List.filter_map
+      (fun f -> f schema graph assocs ref_oks)
+      [ sorbe_arm; sparql_arm ]
+  in
+  engine_findings @ extra
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let still schema graph assocs (target : divergence) =
+  List.exists
+    (fun d -> d.arm = target.arm && d.kind = target.kind)
+    (divergences schema graph assocs)
+
+(* Drop items one at a time, keeping a drop only when the divergence
+   survives. *)
+let greedy_drop items survives =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | x :: rest ->
+        let candidate = List.rev_append kept rest in
+        if candidate <> [] && survives candidate then go kept rest
+        else go (x :: kept) rest
+  in
+  go [] items
+
+(* Structural shrink candidates, strictly smaller, built through the
+   smart constructors so candidates stay in normal form. *)
+let rec shrink_expr (e : Shex.Rse.t) =
+  let cands =
+    match e with
+    | Shex.Rse.Empty | Shex.Rse.Epsilon -> []
+    | Shex.Rse.Arc _ -> [ Shex.Rse.epsilon ]
+    | Shex.Rse.Star e1 ->
+        (e1 :: List.map Shex.Rse.star (shrink_expr e1)) @ [ Shex.Rse.epsilon ]
+    | Shex.Rse.And (e1, e2) ->
+        [ e1; e2 ]
+        @ List.map (fun c -> Shex.Rse.and_ c e2) (shrink_expr e1)
+        @ List.map (fun c -> Shex.Rse.and_ e1 c) (shrink_expr e2)
+    | Shex.Rse.Or (e1, e2) ->
+        [ e1; e2 ]
+        @ List.map (fun c -> Shex.Rse.or_ c e2) (shrink_expr e1)
+        @ List.map (fun c -> Shex.Rse.or_ e1 c) (shrink_expr e2)
+    | Shex.Rse.Not e1 -> e1 :: List.map Shex.Rse.not_ (shrink_expr e1)
+  in
+  List.sort_uniq Shex.Rse.compare
+    (List.filter (fun c -> Shex.Rse.size c < Shex.Rse.size e) cands)
+
+let rebuild_schema shapes =
+  match Shex.Schema.make_shapes shapes with Ok s -> Some s | Error _ -> None
+
+let set_shape shapes l shape' =
+  List.map (fun (l', s) -> if Shex.Label.equal l l' then (l', shape') else (l', s)) shapes
+
+(* Shrink one rule to a local minimum: focus first, then expression
+   candidates, restarting after every accepted step. *)
+let shrink_rule graph assocs target shapes l =
+  let try_schema shapes' =
+    match rebuild_schema shapes' with
+    | Some s when still s graph assocs target -> Some shapes'
+    | Some _ | None -> None
+  in
+  let rec go shapes =
+    let (shape : Shex.Schema.shape) = List.assoc l shapes in
+    let focus_step =
+      match shape.focus with
+      | None -> None
+      | Some _ -> try_schema (set_shape shapes l { shape with focus = None })
+    in
+    match focus_step with
+    | Some shapes' -> go shapes'
+    | None -> (
+        let expr_step =
+          List.find_map
+            (fun c -> try_schema (set_shape shapes l { shape with expr = c }))
+            (shrink_expr shape.expr)
+        in
+        match expr_step with Some shapes' -> go shapes' | None -> shapes)
+  in
+  go shapes
+
+(* [rebuild_schema] rejects dangling references, so the guard also
+   rules out dropping a rule that something still points at. *)
+let drop_unused_rules graph assocs target shapes =
+  greedy_drop shapes (fun shapes' ->
+      List.for_all (fun (_, l) -> List.mem_assoc l shapes') assocs
+      &&
+      match rebuild_schema shapes' with
+      | Some s -> still s graph assocs target
+      | None -> false)
+
+let shrink schema graph assocs target =
+  let assocs =
+    match
+      List.find_opt (fun a -> still schema graph [ a ] target) assocs
+    with
+    | Some a -> [ a ]
+    | None -> greedy_drop assocs (fun c -> still schema graph c target)
+  in
+  let shrink_graph schema graph =
+    Rdf.Graph.of_list
+      (greedy_drop (Rdf.Graph.to_list graph) (fun triples ->
+           still schema (Rdf.Graph.of_list triples) assocs target))
+  in
+  let graph = shrink_graph schema graph in
+  let shapes =
+    List.fold_left
+      (fun shapes (l, _) -> shrink_rule graph assocs target shapes l)
+      (Shex.Schema.shapes schema)
+      (Shex.Schema.shapes schema)
+  in
+  let shapes = drop_unused_rules graph assocs target shapes in
+  let schema =
+    match rebuild_schema shapes with Some s -> s | None -> schema
+  in
+  let graph = shrink_graph schema graph in
+  (schema, graph, assocs)
+
+(* ------------------------------------------------------------------ *)
+(* Repro files                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type finding = {
+  seed : int;
+  mode : Workload.Rand_gen.mode;
+  divergence : divergence;
+  schema : Shex.Schema.t;
+  graph : Rdf.Graph.t;
+  associations : (Rdf.Term.t * Shex.Label.t) list;
+  repro : string option;
+}
+
+type summary = { seeds_run : int; findings : finding list }
+
+let mode_text = function
+  | Workload.Rand_gen.Surface -> "surface"
+  | Workload.Rand_gen.Extended -> "extended"
+
+let repro_to_string f =
+  let schema_text = Shexc.Shexc_printer.schema_to_string f.schema in
+  let data_text = Turtle.Write.to_string f.graph in
+  let map_text =
+    String.concat ",\n" (List.map assoc_text f.associations)
+  in
+  String.concat "\n"
+    [ Printf.sprintf "# oracle repro: seed %d (%s mode)" f.seed
+        (mode_text f.mode);
+      Printf.sprintf "# found as: %s" f.divergence.detail;
+      "%schema";
+      schema_text ^ "%data";
+      data_text ^ "%map";
+      map_text;
+      "" ]
+
+let split_sections content =
+  let lines = String.split_on_char '\n' content in
+  let section_of = function
+    | "%schema" -> Some `Schema
+    | "%data" -> Some `Data
+    | "%map" -> Some `Map
+    | _ -> None
+  in
+  let rec go current acc = function
+    | [] -> Ok acc
+    | line :: rest -> (
+        match section_of (String.trim line) with
+        | Some s -> go (Some s) acc rest
+        | None -> (
+            match current with
+            | None ->
+                if String.trim line = "" || String.length line > 0 && line.[0] = '#'
+                then go current acc rest
+                else Error (Printf.sprintf "unexpected line before %%schema: %s" line)
+            | Some s ->
+                let key = function
+                  | `Schema -> 0
+                  | `Data -> 1
+                  | `Map -> 2
+                in
+                let acc =
+                  List.map
+                    (fun (k, text) ->
+                      if k = key s then (k, text ^ line ^ "\n") else (k, text))
+                    acc
+                in
+                go current acc rest))
+  in
+  match go None [ (0, ""); (1, ""); (2, "") ] lines with
+  | Error _ as e -> e
+  | Ok acc ->
+      Ok (List.assoc 0 acc, List.assoc 1 acc, List.assoc 2 acc)
+
+let ( let* ) = Result.bind
+
+let replay_string content =
+  let* schema_text, data_text, map_text = split_sections content in
+  let* doc =
+    Result.map_error
+      (fun e -> "schema: " ^ e)
+      (Shexc.Shexc_parser.parse schema_text)
+  in
+  let* graph =
+    Result.map_error
+      (fun e -> "data: " ^ e)
+      (Turtle.Parse.parse_graph data_text)
+  in
+  let* map =
+    Result.map_error
+      (fun e -> "map: " ^ e)
+      (Shex.Shape_map.parse ~namespaces:doc.namespaces map_text)
+  in
+  let assocs = Shex.Shape_map.resolve map graph in
+  if assocs = [] then Error "map: no associations"
+  else
+    match divergences doc.schema graph assocs with
+    | [] -> Ok ()
+    | d :: _ -> Error d.detail
+
+let replay_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | content -> replay_string content
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_campaign ?(mode = Workload.Rand_gen.Surface) ?dir ?(log = ignore)
+    ~first_seed ~count () =
+  let findings = ref [] in
+  for seed = first_seed to first_seed + count - 1 do
+    let case = Workload.Rand_gen.case ~mode seed in
+    match divergences case.schema case.graph case.associations with
+    | [] -> ()
+    | d :: _ ->
+        log (Printf.sprintf "seed %d: %s" seed d.detail);
+        let schema, graph, assocs =
+          shrink case.schema case.graph case.associations d
+        in
+        let divergence =
+          match
+            List.find_opt
+              (fun d' -> d'.arm = d.arm && d'.kind = d.kind)
+              (divergences schema graph assocs)
+          with
+          | Some d' -> d'
+          | None -> d
+        in
+        let finding =
+          { seed; mode; divergence; schema; graph;
+            associations = assocs; repro = None }
+        in
+        let finding =
+          match dir with
+          | None -> finding
+          | Some dir -> (
+              let path =
+                Filename.concat dir (Printf.sprintf "oracle-seed%d.repro" seed)
+              in
+              match repro_to_string finding with
+              | text ->
+                  Json.write_file_atomic path text;
+                  { finding with repro = Some path }
+              | exception Invalid_argument _ ->
+                  (* Extended-mode predicate sets have no ShExC
+                     notation; such findings become OCaml regression
+                     tests instead of corpus files. *)
+                  finding)
+        in
+        findings := finding :: !findings
+  done;
+  { seeds_run = count; findings = List.rev !findings }

@@ -1,0 +1,88 @@
+(** Cross-engine differential oracle.
+
+    The repo carries four neighbourhood matchers (derivatives,
+    backtracking, SORBE counting, compiled DFA), a SPARQL compilation
+    path and a domain-parallel bulk runner, all promising identical
+    verdicts.  This module checks that promise mechanically: it runs a
+    random workload ({!Workload.Rand_gen}) through every applicable
+    arm, compares verdicts and report JSON, and delta-shrinks any
+    disagreement to a minimal counterexample that can be written as a
+    self-contained repro file (ShExC + Turtle + shape map) and
+    replayed as a regression test. *)
+
+(** How two arms disagreed. *)
+type kind =
+  | Verdict  (** conformance bits differ *)
+  | Report   (** verdicts agree but report JSON (blame sets) differs *)
+
+type divergence = {
+  arm : string;
+      (** the disagreeing arm: ["backtrack"], ["auto"], ["compiled"],
+          ["sorbe"], ["domains=2"], ["domains=4"] or ["sparql"]; the
+          reference arm is always the sequential derivative engine *)
+  kind : kind;
+  detail : string;  (** one-line human-readable description *)
+}
+
+val divergences :
+  Shex.Schema.t ->
+  Rdf.Graph.t ->
+  (Rdf.Term.t * Shex.Label.t) list ->
+  divergence list
+(** Run every applicable arm over the associations and report each
+    disagreement with the derivative reference.  The compiled and
+    domain arms are skipped (not failed) when their backends are not
+    linked into the executable; the SORBE and SPARQL arms restrict
+    themselves to the shapes (and, for SPARQL, focus nodes) inside
+    their fragments. *)
+
+val shrink :
+  Shex.Schema.t ->
+  Rdf.Graph.t ->
+  (Rdf.Term.t * Shex.Label.t) list ->
+  divergence ->
+  Shex.Schema.t * Rdf.Graph.t * (Rdf.Term.t * Shex.Label.t) list
+(** Greedy delta-shrink preserving the given divergence (same arm,
+    same kind): drop associations, then graph triples, then simplify
+    shape expressions and drop unreferenced rules, to a local
+    minimum. *)
+
+(** A shrunk, reproducible divergence from a campaign. *)
+type finding = {
+  seed : int;
+  mode : Workload.Rand_gen.mode;
+  divergence : divergence;  (** re-derived on the shrunk workload *)
+  schema : Shex.Schema.t;
+  graph : Rdf.Graph.t;
+  associations : (Rdf.Term.t * Shex.Label.t) list;
+  repro : string option;  (** path of the written repro file, if any *)
+}
+
+type summary = { seeds_run : int; findings : finding list }
+
+val run_campaign :
+  ?mode:Workload.Rand_gen.mode ->
+  ?dir:string ->
+  ?log:(string -> unit) ->
+  first_seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** Generate and check [count] seeded workloads starting at
+    [first_seed].  Each divergence is shrunk; with [?dir] set (and the
+    workload printable, i.e. [Surface] mode) a repro file is written
+    there as [oracle-seed<N>.repro].  [log] receives one line per
+    divergence as it is found. *)
+
+val repro_to_string : finding -> string
+(** The self-contained repro document: a commented header, then
+    [%schema] (ShExC), [%data] (Turtle) and [%map] (fixed shape map)
+    sections.  Raises [Invalid_argument] when the schema is outside
+    the ShExC-printable fragment (Extended-mode predicate sets). *)
+
+val replay_string : string -> (unit, string) result
+(** Parse a repro document and re-run {!divergences} on it: [Ok ()]
+    when every arm now agrees (the regression stays fixed), [Error
+    detail] otherwise.  Also [Error] on malformed documents. *)
+
+val replay_file : string -> (unit, string) result

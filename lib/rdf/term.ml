@@ -29,6 +29,18 @@ let equal a b =
   | Literal x, Literal y -> Literal.equal x y
   | (Iri _ | Bnode _ | Literal _), _ -> false
 
+(* Two numeric literals compare in the value space ("01"^^xsd:integer
+   equals "1"^^xsd:integer); everything else falls back to term
+   equality — exactly the relation SPARQL's [=] decides on RDF terms,
+   with booleans (no [as_float] view) staying syntactic either way. *)
+let value_equal a b =
+  match (a, b) with
+  | Literal x, Literal y -> (
+      match (Literal.as_float x, Literal.as_float y) with
+      | Some fx, Some fy -> Float.equal fx fy
+      | (Some _ | None), _ -> Literal.equal x y)
+  | (Iri _ | Bnode _ | Literal _), _ -> equal a b
+
 (* IRIs < blank nodes < literals, then the component order. *)
 let compare a b =
   let rank = function Iri _ -> 0 | Bnode _ -> 1 | Literal _ -> 2 in

@@ -35,6 +35,14 @@ val as_iri : t -> Iri.t option
 val as_literal : t -> Literal.t option
 
 val equal : t -> t -> bool
+
+val value_equal : t -> t -> bool
+(** Like {!equal} but numeric literals compare in the value space:
+    ["01"^^xsd:integer] equals ["1"^^xsd:integer].  This is the
+    relation SPARQL's [=] decides on RDF terms, and the one value-set
+    membership ({!Shex.Value_set.obj_mem}) uses so the regular-shape
+    engines and the SPARQL translation agree on finite value sets. *)
+
 val compare : t -> t -> int
 val hash : t -> int
 

@@ -122,9 +122,15 @@ let rec expr_text ctx prec (e : Shex.Rse.t) =
       | _ -> Printf.sprintf "(%s) ?" (expr_text ctx 0 inner))
   | Shex.Rse.And (e1, e2) -> (
       (* Single-occurrence concatenations print with merged {m,n}
-         cardinalities, so [repeat] expansions round-trip compactly. *)
+         cardinalities, so [repeat] expansions round-trip compactly.
+         The merge sums intervals of duplicate conjuncts (a⋆ ‖ a⋆
+         becomes one a{0,*}), which parses back to a different
+         conjunct bag — so merged printing is only used when it is
+         lossless, i.e. re-expanding the constraints reconstructs the
+         expression exactly. *)
       match Shex.Sorbe.of_rse e with
-      | Some constrs when List.length constrs >= 1 ->
+      | Some constrs
+        when constrs <> [] && Shex.Rse.equal (Shex.Sorbe.to_rse constrs) e ->
           parens 2
             (String.concat " , "
                (List.map

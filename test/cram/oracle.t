@@ -1,0 +1,54 @@
+The differential oracle runs a fixed-seed campaign across every
+engine and reports agreement:
+
+  $ shex-validate --oracle seeds=25
+  oracle: 25 seeds checked (surface mode, seeds 0-24): no divergences
+
+Extended mode probes the SORBE applicability edge (predicate stems
+overlapping singleton predicates) and object complements:
+
+  $ shex-validate --oracle seeds=10,start=5,mode=extended
+  oracle: 10 seeds checked (extended mode, seeds 5-14): no divergences
+
+A repro directory is created on demand (and stays empty when every
+arm agrees):
+
+  $ shex-validate --oracle seeds=5,dir=findings
+  oracle: 5 seeds checked (surface mode, seeds 0-4): no divergences
+  $ ls findings | wc -l
+  0
+
+Malformed specs are one-line usage errors with exit code 2:
+
+  $ shex-validate --oracle seeds=banana
+  error: --oracle: seeds must be a non-negative integer (got "banana")
+  [2]
+
+  $ shex-validate --oracle start=3
+  error: --oracle: a seeds=N entry is required
+  [2]
+
+  $ shex-validate --oracle seeds=5,mode=quantum
+  error: --oracle: mode must be surface or extended (got "quantum")
+  [2]
+
+  $ shex-validate --oracle seeds=5,flavour=mild
+  error: --oracle: unknown key "flavour" (known keys: seeds, start, mode, dir, replay)
+  [2]
+
+A written repro document replays through every arm (this one is the
+shrunk literal-comparison counterexample from test/corpus/):
+
+  $ cat > seed231.repro <<'REPRO'
+  > # oracle repro: seed 231 (surface mode)
+  > %schema
+  > <http://example.org/S1> {
+  >   <http://other.org/q1> [ "hi"@en <http://example.org/n4> 01 ]
+  > }
+  > %data
+  > <http://example.org/n3> <http://other.org/q1> "1"^^<http://www.w3.org/2001/XMLSchema#integer> .
+  > %map
+  > <http://example.org/n3>@<http://example.org/S1>
+  > REPRO
+  $ shex-validate --oracle replay=seed231.repro
+  oracle: seed231.repro replays clean (all arms agree)

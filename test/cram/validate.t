@@ -173,3 +173,11 @@ Shape maps with explicit node lists:
        triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> "65"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)
   1 conformant, 1 nonconformant
   [1]
+
+Library errors surface as one-line diagnostics with exit code 2, not
+backtraces — a malformed focus IRI:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node 'not a valid iri' --shape Person
+  error: Iri.of_string_exn: invalid character ' ' at position 3 in IRI "not a valid iri"
+  [2]

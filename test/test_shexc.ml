@@ -226,6 +226,46 @@ let test_print_roundtrip_empty () =
   let s, printed, s' = roundtrip "<T> {}" in
   check_bool ("roundtrip:\n" ^ printed) true (schemas_equal s s')
 
+let test_print_roundtrip_duplicate_conjuncts () =
+  (* Oracle-found printer bug: merged-cardinality printing summed the
+     intervals of duplicate conjuncts, so (p→int)⋆ ‖ (p→int)⋆ printed
+     as a single `p xsd:integer *` and parsed back to a smaller
+     conjunct bag.  Merged printing is now guarded by a losslessness
+     check. *)
+  let a = Rse.arc_v (Value_set.Pred (ex "p")) Value_set.xsd_integer in
+  let e = Rse.and_ (Rse.star a) (Rse.star a) in
+  let s = Schema.make_exn [ (Label.of_string "T", e) ] in
+  let printed = Shexc.Shexc_printer.schema_to_string s in
+  let s' = parse printed in
+  check_bool ("roundtrip:\n" ^ printed) true (schemas_equal s s')
+
+(* Full-schema round-trip over the oracle's Surface-mode generator,
+   including focus constraints (which [schemas_equal] above ignores).
+   Smart constructors keep both sides in the same normal form, so
+   plain structural equality is the right check. *)
+let shapes_equal s1 s2 =
+  let sh1 = Schema.shapes s1 and sh2 = Schema.shapes s2 in
+  List.length sh1 = List.length sh2
+  && List.for_all2
+       (fun (l1, (a : Schema.shape)) (l2, (b : Schema.shape)) ->
+         Label.equal l1 l2
+         && Option.equal Value_set.obj_equal a.focus b.focus
+         && Rse.equal a.expr b.expr)
+       sh1 sh2
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"parse (print s) ≡ s over generated schemas"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let s = Workload.Rand_gen.schema (Workload.Prng.create seed) in
+      let printed = Shexc.Shexc_printer.schema_to_string s in
+      match Shexc.Shexc_parser.parse_schema printed with
+      | Error msg -> QCheck.Test.fail_reportf "parse back: %s\n%s" msg printed
+      | Ok s' ->
+          shapes_equal s s'
+          || QCheck.Test.fail_reportf "not structurally equal:\n%s" printed)
+
 let suites =
   [ ( "shexc.parse",
       [ Alcotest.test_case "Example 1 schema" `Quick test_example1;
@@ -257,4 +297,7 @@ let suites =
         Alcotest.test_case "roundtrip rich schema" `Quick
           test_print_roundtrip_rich;
         Alcotest.test_case "roundtrip empty shape" `Quick
-          test_print_roundtrip_empty ] ) ]
+          test_print_roundtrip_empty;
+        Alcotest.test_case "roundtrip duplicate conjuncts" `Quick
+          test_print_roundtrip_duplicate_conjuncts;
+        QCheck_alcotest.to_alcotest prop_print_parse_roundtrip ] ) ]

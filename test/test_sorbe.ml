@@ -110,6 +110,52 @@ let test_counting_obj_mismatch () =
   check_bool "b out of range" false
     (Sorbe.matches (node "n") (graph_of [ t3 "n" "b" (num 7) ]) s)
 
+let test_overlapping_stem_refused () =
+  (* The applicability edge the oracle's Extended mode probes:
+     interval merging is only sound for arc-equal or
+     predicate-disjoint constraint pairs, and a predicate stem that
+     covers a singleton predicate is neither.  The analysis must
+     refuse such shapes (so Auto falls back to derivatives) while
+     still accepting genuinely disjoint stems. *)
+  let stem prefix =
+    Rse.arc_v (Value_set.Pred_stem prefix) Value_set.Obj_any
+  in
+  check_bool "overlapping stem refused" true
+    (Sorbe.of_rse (Rse.and_ a1 (Rse.star (stem "http://example.org/")))
+    = None);
+  check_bool "stem overlapping itself refused" true
+    (Sorbe.of_rse
+       (Rse.and_ (stem "http://example.org/") (Rse.star (stem "http://example.org/a")))
+    = None);
+  check_bool "disjoint stem accepted" true
+    (Sorbe.of_rse (Rse.and_ a1 (Rse.star (stem "http://other.org/")))
+    <> None)
+
+let test_overlapping_stem_auto_agrees () =
+  (* On a shape SORBE refuses, the Auto dispatch must agree with the
+     reference derivative engine on both verdicts. *)
+  let stem_any =
+    Rse.arc_v (Value_set.Pred_stem "http://example.org/") Value_set.Obj_any
+  in
+  let label = Label.of_string "S" in
+  let schema =
+    Schema.make_exn [ (label, Rse.and_ a1 (Rse.star stem_any)) ]
+  in
+  (* Accept: a→1 feeds the counted arc, p→m the stem star (a→1 also
+     matches the stem, so the decomposition is genuinely ambiguous).
+     Reject: a→2 only matches the stem, leaving a→{1} unmatched. *)
+  let good = graph_of [ t3 "n" "a" (num 1); t3 "n" "p" (node "m") ] in
+  let bad = graph_of [ t3 "n" "a" (num 2) ] in
+  List.iter
+    (fun (g, expect) ->
+      List.iter
+        (fun engine ->
+          let session = Validate.session ~engine schema g in
+          check_bool "engines agree" expect
+            (Validate.check_bool session (node "n") label))
+        [ Validate.Derivatives; Validate.Auto; Validate.Backtracking ])
+    [ (good, true); (bad, false) ]
+
 let test_counting_with_refs () =
   let person = Label.of_string "P" in
   let s =
@@ -139,5 +185,9 @@ let suites =
           test_counting_agrees_with_deriv;
         Alcotest.test_case "object mismatch fails" `Quick
           test_counting_obj_mismatch;
-        Alcotest.test_case "shape references" `Quick test_counting_with_refs
+        Alcotest.test_case "shape references" `Quick test_counting_with_refs;
+        Alcotest.test_case "overlapping predicate stems refused" `Quick
+          test_overlapping_stem_refused;
+        Alcotest.test_case "auto falls back on overlapping stems" `Quick
+          test_overlapping_stem_auto_agrees
       ] ) ]

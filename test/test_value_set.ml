@@ -82,6 +82,24 @@ let test_obj_membership () =
        (Rdf.Term.Literal
           (Rdf.Literal.make ~datatype:(ex "custom") "anything")))
 
+let test_obj_membership_value_space () =
+  (* Oracle-found divergence (corpus/oracle-seed231.repro): value-set
+     membership is value-based for numeric literals, like SPARQL's
+     [=], so "01"^^xsd:integer belongs to {1} — while [obj_equal]
+     stays syntactic. *)
+  let padded = Rdf.Term.Literal (Rdf.Literal.typed Rdf.Xsd.Integer "01") in
+  check_bool "padded integer in {1}" true
+    (Value_set.obj_mem (Value_set.obj_terms [ num 1 ]) padded);
+  check_bool "decimal 1.0 in {1}" true
+    (Value_set.obj_mem (Value_set.obj_terms [ num 1 ])
+       (Rdf.Term.Literal (Rdf.Literal.typed Rdf.Xsd.Decimal "1.0")));
+  check_bool "string \"1\" not in {1}" false
+    (Value_set.obj_mem (Value_set.obj_terms [ num 1 ]) (Rdf.Term.str "1"));
+  check_bool "obj_equal stays syntactic" false
+    (Value_set.obj_equal
+       (Value_set.obj_terms [ num 1 ])
+       (Value_set.obj_terms [ padded ]))
+
 let test_obj_kinds () =
   let mem k t = Value_set.obj_mem (Value_set.Obj_kind k) t in
   check_bool "iri kind" true (mem Value_set.Iri_kind (node "x"));
@@ -154,6 +172,8 @@ let suites =
         Alcotest.test_case "predicate disjointness" `Quick
           test_pred_disjoint;
         Alcotest.test_case "object membership" `Quick test_obj_membership;
+        Alcotest.test_case "value-space membership" `Quick
+          test_obj_membership_value_space;
         Alcotest.test_case "node kinds" `Quick test_obj_kinds;
         Alcotest.test_case "stems and combinators" `Quick
           test_obj_stems_and_combinators;
