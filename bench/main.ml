@@ -938,6 +938,158 @@ let e13 () =
      blame sets across the whole seed range.@."
 
 (* ------------------------------------------------------------------ *)
+(* E14: incremental revalidation vs full re-run                        *)
+(* ------------------------------------------------------------------ *)
+
+let percentile p latencies =
+  let a = Array.of_list latencies in
+  Array.sort compare a;
+  let k = Array.length a in
+  let idx = int_of_float (Float.round (p /. 100. *. float_of_int (k - 1))) in
+  a.(max 0 (min (k - 1) idx))
+
+let e14 () =
+  header
+    "E14 Incremental revalidation \xe2\x80\x94 steady-state edit stream on \
+     the FOAF portal vs full re-run";
+  let sizes =
+    if !smoke then [ 100 ]
+    else if !quick then [ 100; 300; 1000 ]
+    else [ 100; 300; 1000; 3000 ]
+  in
+  let schema, person = Workload.Foaf_gen.person_schema () in
+  let foaf_name = Rdf.Iri.of_string_exn "http://xmlns.com/foaf/0.1/name" in
+  row "  %-10s %-7s %-8s %-6s %-13s %-13s %-13s %-9s@." "portal" "persons"
+    "triples" "edits" "inc-p50" "inc-p99" "full-median" "speedup";
+  let measure ~regime ~generate n =
+      let profile =
+        { Workload.Foaf_gen.n_persons = n;
+          invalid_fraction = 0.1;
+          knows_degree = 3;
+          seed = 7 }
+      in
+      let { Workload.Foaf_gen.graph; valid; invalid } = generate profile in
+      let everyone = valid @ invalid in
+      let inc = Shex_incremental.Session.create schema graph in
+      (* Warm the memo: the steady state a long-lived portal session
+         sits in. *)
+      List.iter
+        (fun p -> ignore (Shex_incremental.Session.check_bool inc p person))
+        everyone;
+      (* The edit stream: for each target person, drop every foaf:name
+         arc (they stop conforming \xe2\x80\x94 name+ needs one), then put
+         them back.  Each apply re-solves only the dependency frontier;
+         the graph returns to its original state at the end. *)
+      let targets =
+        let k = if !smoke then 5 else 25 in
+        List.filteri (fun i _ -> i < k) valid
+      in
+      let latencies = ref [] in
+      let edits = ref 0 in
+      let timed_apply delta =
+        let t0 = Unix.gettimeofday () in
+        let stats = Shex_incremental.Session.apply inc delta in
+        latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+        incr edits;
+        stats
+      in
+      List.iter
+        (fun p ->
+          let names =
+            Rdf.Graph.objects_of p foaf_name
+              (Shex_incremental.Session.graph inc)
+          in
+          let triples = List.map (fun o -> Rdf.Triple.make p foaf_name o) names in
+          let gone = timed_apply (Shex_incremental.Session.delete triples) in
+          assert (gone.applied = List.length triples);
+          assert (not (Shex_incremental.Session.check_bool inc p person));
+          let back = timed_apply (Shex_incremental.Session.insert triples) in
+          assert (
+            List.exists
+              (fun (p', _, ok) -> Rdf.Term.equal p p' && ok)
+              back.changed))
+        targets;
+      (* Identity: after the stream the incremental memo must agree
+         with a from-scratch session on every person (the edits-arm
+         property, asserted here on the portal workload). *)
+      let fresh =
+        Shex.Validate.session schema (Shex_incremental.Session.graph inc)
+      in
+      List.iter
+        (fun p ->
+          assert (
+            Bool.equal
+              (Shex_incremental.Session.check_bool inc p person)
+              (Shex.Validate.check_bool fresh p person)))
+        everyone;
+      (* The baseline a portal without incrementality pays per edit:
+         re-validate every person from scratch. *)
+      let t_full =
+        wall_per_run ~budget:0.3 (fun () ->
+            let s = Shex.Validate.session schema
+                (Shex_incremental.Session.graph inc)
+            in
+            List.iter
+              (fun p -> ignore (Shex.Validate.check_bool s p person))
+              everyone)
+      in
+      let p50 = percentile 50. !latencies
+      and p99 = percentile 99. !latencies in
+      observe (fun () ->
+          let obs =
+            Shex_incremental.Session.create ~telemetry:(tele ()) schema graph
+          in
+          List.iter
+            (fun p -> ignore (Shex_incremental.Session.check_bool obs p person))
+            everyone;
+          List.iter
+            (fun p ->
+              let names = Rdf.Graph.objects_of p foaf_name graph in
+              let triples =
+                List.map (fun o -> Rdf.Triple.make p foaf_name o) names
+              in
+              ignore
+                (Shex_incremental.Session.apply obs
+                   (Shex_incremental.Session.delete triples));
+              ignore
+                (Shex_incremental.Session.apply obs
+                   (Shex_incremental.Session.insert triples)))
+            (List.filteri (fun i _ -> i < 5) valid));
+      jrow
+        [ ("portal", jstr regime);
+          ("persons", jint n); ("triples", jint (Rdf.Graph.cardinal graph));
+          ("edits", jint !edits);
+          ("inc_p50_us", jflt (us p50));
+          ("inc_p99_us", jflt (us p99));
+          ("full_median_ms", jflt (ms t_full));
+          ("speedup_median", jflt (t_full /. p50)) ];
+      row "  %-10s %-7d %-8d %-6d %10.2f us %10.2f us %10.2f ms %8.0fx@."
+        regime n
+        (Rdf.Graph.cardinal graph)
+        !edits (us p50) (us p99) (ms t_full)
+        (t_full /. p50)
+  in
+  List.iter
+    (measure ~regime:"clustered"
+       ~generate:(Workload.Foaf_gen.generate_clustered ~community:10))
+    sizes;
+  (* The honest worst case: uniform knows at degree 3 form one giant
+     strongly-connected component, so a single verdict flip cascades
+     through most of the portal and the dependency frontier IS the
+     portal — no sound incremental scheme can beat a full re-run
+     there. *)
+  measure ~regime:"uniform" ~generate:Workload.Foaf_gen.generate
+    (List.nth sizes (min 1 (List.length sizes - 1)));
+  row
+    "@.  Expectation: with community structure the dependency frontier \
+     of an edit is the@.  community, not the portal \xe2\x80\x94 per-edit \
+     latency stays flat as the portal grows and@.  the median speedup \
+     over full re-validation clears 5x at E3 scale.  Uniform knows@.  \
+     (one giant component) are the worst case: most verdicts genuinely \
+     flip per edit,@.  and incremental degenerates to \xe2\x89\x88 full \
+     re-run cost.@."
+
+(* ------------------------------------------------------------------ *)
 (* Chrome trace export (--trace-chrome)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1041,7 +1193,7 @@ let micro () =
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13) ]
+    ("E12", e12); ("E13", e13); ("E14", e14) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1085,7 +1237,7 @@ let () =
     | a :: _ when String.length a > 1 && a.[0] = '-' ->
         Printf.eprintf
           "unknown option: %s\n\
-           usage: main.exe [E1 .. E13] [--quick] [--smoke] [--json FILE] \
+           usage: main.exe [E1 .. E14] [--quick] [--smoke] [--json FILE] \
            [--trace-chrome FILE] [--domains N] [--micro]\n"
           a;
         exit 2

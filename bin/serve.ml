@@ -1,0 +1,213 @@
+(* Long-running validation daemon (shex-validate --serve).
+
+   One JSON command per stdin line, one minified JSON response per
+   stdout line:
+
+     {"cmd":"load","schema":FILE[,"data":FILE]}   (re)load schema+data
+     {"cmd":"insert","triples":TURTLE}            apply triple inserts
+     {"cmd":"delete","triples":TURTLE}            apply triple deletes
+     {"cmd":"query","node":IRI,"shape":LABEL}     one verdict
+     {"cmd":"metrics"}                            telemetry snapshot
+     {"cmd":"shutdown"}                           exit 0
+
+   Edits go through an incremental session (Shex_incremental.Session):
+   only the dependency frontier of each delta is re-solved, and
+   insert/delete responses list the verdicts the delta flipped.  A
+   malformed command answers a plain "error: ..." line and the loop
+   keeps serving; EOF exits 0 like shutdown. *)
+
+exception Bad of string
+exception Quit of Json.t
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+type state = {
+  engine : Shex.Validate.engine;
+  domains : int;
+  tele : Telemetry.t;
+  requests : Telemetry.Counter.t;
+  errors : Telemetry.Counter.t;
+  request_span : Telemetry.Span.t;
+  mutable session : Shex_incremental.Session.t option;
+}
+
+let read_file path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg -> bad "%s" msg
+
+let load_schema path =
+  let src = read_file path in
+  let result =
+    if Filename.check_suffix path ".json" then Shexc.Shexj.import_string src
+    else Shexc.Shexc_parser.parse_schema src
+  in
+  match result with Ok s -> s | Error msg -> bad "%s: %s" path msg
+
+let load_graph path =
+  match Turtle.Parse.parse_graph (read_file path) with
+  | Ok g -> g
+  | Error msg -> bad "%s: %s" path msg
+
+(* Same convention as --shape: exact label or suffix match. *)
+let resolve_label schema name =
+  let exact = Shex.Label.of_string name in
+  if Shex.Schema.mem schema exact then exact
+  else
+    let labels = Shex.Schema.labels schema in
+    match
+      List.find_opt
+        (fun l ->
+          let s = Shex.Label.to_string l in
+          let n = String.length s and m = String.length name in
+          n >= m && String.sub s (n - m) m = name)
+        labels
+    with
+    | Some l -> l
+    | None ->
+        bad "unknown shape label %S (known: %s)" name
+          (String.concat ", " (List.map Shex.Label.to_string labels))
+
+let require_session st =
+  match st.session with
+  | Some s -> s
+  | None -> bad "no schema loaded (send {\"cmd\":\"load\",...} first)"
+
+let make_session st schema graph =
+  st.session <-
+    Some
+      (Shex_incremental.Session.create ~engine:st.engine ~telemetry:st.tele
+         ~domains:st.domains schema graph)
+
+let require_string cmd key ~what =
+  match Json.find_string key cmd with
+  | Some v -> v
+  | None -> bad "missing %S member (%s)" key what
+
+let parse_triples text =
+  match Turtle.Parse.parse_graph text with
+  | Ok g -> Rdf.Graph.to_list g
+  | Error msg -> bad "triples: %s" msg
+
+let stats_json (stats : Shex_incremental.Session.stats) =
+  Json.Object
+    [ ("ok", Json.Bool true);
+      ("applied", Json.int stats.applied);
+      ("frontier", Json.int stats.frontier);
+      ("resolved", Json.int stats.resolved);
+      ( "changed",
+        Json.Array
+          (List.map
+             (fun (n, l, conformant) ->
+               Json.Object
+                 [ ("node", Json.String (Rdf.Term.to_string n));
+                   ("shape", Json.String (Shex.Label.to_string l));
+                   ("conformant", Json.Bool conformant) ])
+             stats.changed) ) ]
+
+let handle st cmd =
+  match Json.find_string "cmd" cmd with
+  | None -> bad "missing \"cmd\" member"
+  | Some "load" ->
+      let schema = load_schema (require_string cmd "schema" ~what:"file path") in
+      let graph =
+        match Json.find_string "data" cmd with
+        | None -> Rdf.Graph.empty
+        | Some path -> load_graph path
+      in
+      make_session st schema graph;
+      Json.Object
+        [ ("ok", Json.Bool true);
+          ("shapes", Json.int (List.length (Shex.Schema.labels schema)));
+          ("triples", Json.int (Rdf.Graph.cardinal graph)) ]
+  | Some (("insert" | "delete") as op) ->
+      let session = require_session st in
+      let triples =
+        parse_triples (require_string cmd "triples" ~what:"Turtle text")
+      in
+      let delta =
+        if op = "insert" then Shex_incremental.Session.insert triples
+        else Shex_incremental.Session.delete triples
+      in
+      stats_json (Shex_incremental.Session.apply session delta)
+  | Some "query" ->
+      let session = require_session st in
+      let node = Rdf.Term.iri (require_string cmd "node" ~what:"IRI") in
+      let shape =
+        resolve_label
+          (Shex_incremental.Session.schema session)
+          (require_string cmd "shape" ~what:"shape label")
+      in
+      Json.Object
+        [ ("ok", Json.Bool true);
+          ("node", Json.String (Rdf.Term.to_string node));
+          ("shape", Json.String (Shex.Label.to_string shape));
+          ( "conformant",
+            Json.Bool (Shex_incremental.Session.check_bool session node shape)
+          ) ]
+  | Some "metrics" ->
+      let snap =
+        match st.session with
+        | Some session -> Shex_incremental.Session.metrics session
+        | None -> Telemetry.snapshot st.tele
+      in
+      Json.Object
+        [ ("ok", Json.Bool true); ("metrics", Telemetry.to_json snap) ]
+  | Some "shutdown" -> raise (Quit (Json.Object [ ("ok", Json.Bool true) ]))
+  | Some other ->
+      bad "unknown command %S (known: load, insert, delete, query, \
+           metrics, shutdown)"
+        other
+
+let answer_line json = Printf.printf "%s\n%!" (Json.to_string ~minify:true json)
+
+let rec loop st =
+  match In_channel.input_line stdin with
+  | None -> exit 0
+  | Some line when String.trim line = "" -> loop st
+  | Some line ->
+      Telemetry.Counter.incr st.requests;
+      (match
+         Telemetry.Span.time st.request_span @@ fun () ->
+         match Json.of_string line with
+         | Error msg -> Error ("parse: " ^ msg)
+         | Ok cmd -> (
+             match handle st cmd with
+             | json -> Ok json
+             | exception Bad msg -> Error msg
+             | exception (Sys_error msg | Failure msg | Invalid_argument msg)
+               ->
+                 Error msg)
+       with
+      | Ok json -> answer_line json
+      | Error msg ->
+          Telemetry.Counter.incr st.errors;
+          Printf.printf "error: %s\n%!" msg
+      | exception Quit json ->
+          answer_line json;
+          exit 0);
+      loop st
+
+let run ?schema_path ?data_path ~engine ~domains () =
+  let tele = Telemetry.create () in
+  let st =
+    { engine; domains; tele;
+      requests = Telemetry.counter tele "serve_requests";
+      errors = Telemetry.counter tele "serve_errors";
+      request_span = Telemetry.span tele "serve_request";
+      session = None }
+  in
+  (* Startup --schema/--data failures are fatal (exit 2 through the
+     CLI's usual error path), unlike in-protocol load errors. *)
+  (try
+     match schema_path with
+     | None -> ()
+     | Some path ->
+         let schema = load_schema path in
+         let graph =
+           match data_path with
+           | None -> Rdf.Graph.empty
+           | Some data -> load_graph data
+         in
+         make_session st schema graph
+   with Bad msg -> failwith msg);
+  loop st

@@ -152,15 +152,20 @@ let infer_cmd data_path label_name nodes_text =
       Printf.eprintf "%s\n" msg;
       exit 2
 
-(* --oracle seeds=N[,start=S][,mode=surface|extended][,dir=DIR]: run
-   the cross-engine differential campaign and exit — 0 when every arm
-   agreed on every seed, 1 when divergences were found (shrunk repro
-   files land in DIR when given).  --oracle replay=FILE re-runs a
-   repro document instead: 0 when every arm now agrees. *)
+(* --oracle seeds=N[,start=S][,mode=surface|extended|edits][,dir=DIR]:
+   run the cross-engine differential campaign and exit — 0 when every
+   arm agreed on every seed, 1 when divergences were found (shrunk
+   repro files land in DIR when given).  mode=edits replays seeded
+   insert/delete scripts through an incremental session and diffs
+   every verdict against a from-scratch run after each edit.
+   --oracle replay=FILE re-runs a repro document instead: 0 when every
+   arm now agrees. *)
+type oracle_mode = Gen of Workload.Rand_gen.mode | Edits
+
 let oracle_cmd spec =
   let seeds = ref None
   and start = ref 0
-  and mode = ref Workload.Rand_gen.Surface
+  and mode = ref (Gen Workload.Rand_gen.Surface)
   and dir = ref None
   and replay = ref None in
   let int_value key v =
@@ -186,12 +191,14 @@ let oracle_cmd spec =
           (match (k, v) with
           | "seeds", v -> seeds := Some (int_value "seeds" v)
           | "start", v -> start := int_value "start" v
-          | "mode", "surface" -> mode := Workload.Rand_gen.Surface
-          | "mode", "extended" -> mode := Workload.Rand_gen.Extended
+          | "mode", "surface" -> mode := Gen Workload.Rand_gen.Surface
+          | "mode", "extended" -> mode := Gen Workload.Rand_gen.Extended
+          | "mode", "edits" -> mode := Edits
           | "mode", v ->
               failwith
                 (Printf.sprintf
-                   "--oracle: mode must be surface or extended (got %S)" v)
+                   "--oracle: mode must be surface, extended or edits \
+                    (got %S)" v)
           | "dir", v -> dir := Some v
           | "replay", v -> replay := Some v
           | k, _ ->
@@ -222,34 +229,60 @@ let oracle_cmd spec =
   Option.iter
     (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
     !dir;
-  let summary =
-    Oracle.run_campaign ~mode:!mode ?dir:!dir ~log:prerr_endline
-      ~first_seed:!start ~count ()
-  in
-  let mode_text =
-    match !mode with
-    | Workload.Rand_gen.Surface -> "surface"
-    | Workload.Rand_gen.Extended -> "extended"
-  in
-  if summary.findings = [] then begin
-    Printf.printf "oracle: %d seeds checked (%s mode, seeds %d-%d): no \
-                   divergences\n"
-      count mode_text !start
-      (!start + count - 1);
-    exit 0
-  end
-  else begin
-    Printf.printf "oracle: %d seeds checked (%s mode): %d divergence%s\n"
-      count mode_text
-      (List.length summary.findings)
-      (if List.length summary.findings = 1 then "" else "s");
-    List.iter
-      (fun (f : Oracle.finding) ->
-        Printf.printf "  seed %d: %s%s\n" f.seed f.divergence.detail
-          (match f.repro with Some p -> " [" ^ p ^ "]" | None -> ""))
-      summary.findings;
-    exit 1
-  end
+  match !mode with
+  | Edits ->
+      let summary =
+        Oracle.run_edits_campaign ?dir:!dir ~log:prerr_endline
+          ~first_seed:!start ~count ()
+      in
+      if summary.findings = [] then begin
+        Printf.printf
+          "oracle: %d edit scripts checked (seeds %d-%d): no divergences\n"
+          count !start
+          (!start + count - 1);
+        exit 0
+      end
+      else begin
+        Printf.printf "oracle: %d edit scripts checked: %d divergence%s\n"
+          count
+          (List.length summary.findings)
+          (if List.length summary.findings = 1 then "" else "s");
+        List.iter
+          (fun (f : Oracle.Edits.finding) ->
+            Printf.printf "  seed %d: %s%s\n" f.seed f.divergence.detail
+              (match f.repro with Some p -> " [" ^ p ^ "]" | None -> ""))
+          summary.findings;
+        exit 1
+      end
+  | Gen gen_mode ->
+      let summary =
+        Oracle.run_campaign ~mode:gen_mode ?dir:!dir ~log:prerr_endline
+          ~first_seed:!start ~count ()
+      in
+      let mode_text =
+        match gen_mode with
+        | Workload.Rand_gen.Surface -> "surface"
+        | Workload.Rand_gen.Extended -> "extended"
+      in
+      if summary.findings = [] then begin
+        Printf.printf "oracle: %d seeds checked (%s mode, seeds %d-%d): no \
+                       divergences\n"
+          count mode_text !start
+          (!start + count - 1);
+        exit 0
+      end
+      else begin
+        Printf.printf "oracle: %d seeds checked (%s mode): %d divergence%s\n"
+          count mode_text
+          (List.length summary.findings)
+          (if List.length summary.findings = 1 then "" else "s");
+        List.iter
+          (fun (f : Oracle.finding) ->
+            Printf.printf "  seed %d: %s%s\n" f.seed f.divergence.detail
+              (match f.repro with Some p -> " [" ^ p ^ "]" | None -> ""))
+          summary.findings;
+        exit 1
+      end
 
 let run_validate schema_path data_path node_opt shape_opt shape_map_opt
     engine domains engine_stats metrics trace_json trace_chrome trace_folded
@@ -411,16 +444,20 @@ let run_validate schema_path data_path node_opt shape_opt shape_map_opt
 (* Library errors (bad IRIs, out-of-fragment schemas, filesystem
    trouble) must surface as one-line diagnostics with exit code 2,
    not as raw backtraces through cmdliner's catch-all. *)
-let validate_cmd oracle schema_path data_path node_opt shape_opt
+let validate_cmd oracle serve schema_path data_path node_opt shape_opt
     shape_map_opt engine domains engine_stats metrics trace_json
     trace_chrome trace_folded explain trace show_sparql export_shexj json
     result_map quiet infer_nodes infer_label =
   try
     (match oracle with Some spec -> oracle_cmd spec | None -> ());
-    run_validate schema_path data_path node_opt shape_opt shape_map_opt
-      engine domains engine_stats metrics trace_json trace_chrome
-      trace_folded explain trace show_sparql export_shexj json result_map
-      quiet infer_nodes infer_label
+    if serve then
+      Serve.run ?schema_path ?data_path
+        ~engine:(engine_of_choice engine) ~domains ()
+    else
+      run_validate schema_path data_path node_opt shape_opt shape_map_opt
+        engine domains engine_stats metrics trace_json trace_chrome
+        trace_folded explain trace show_sparql export_shexj json result_map
+        quiet infer_nodes infer_label
   with
   | Failure msg | Sys_error msg | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -618,11 +655,30 @@ let oracle_arg =
            applicable engine (derivatives, backtracking, SORBE, \
            compiled automata, SPARQL, 2- and 4-domain bulk), and \
            delta-shrink any disagreement.  $(docv) is \
-           $(b,seeds=N)[$(b,,start=S)][$(b,,mode=surface|extended)]\
+           $(b,seeds=N)[$(b,,start=S)][$(b,,mode=surface|extended|edits)]\
            [$(b,,dir=DIR)]; shrunk repro files are written to \
-           $(b,DIR).  Exits 0 when every arm agreed on every seed, 1 \
-           otherwise.  $(b,replay=FILE) re-runs a previously written \
-           repro document instead.")
+           $(b,DIR).  $(b,mode=edits) replays seeded insert/delete \
+           scripts through an incremental session and diffs every \
+           verdict against a from-scratch run after each edit.  Exits \
+           0 when every arm agreed on every seed, 1 otherwise.  \
+           $(b,replay=FILE) re-runs a previously written repro \
+           document instead.")
+
+let serve_arg =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Run as a long-lived validation daemon: read one JSON command \
+           per line from stdin ($(b,load), $(b,insert), $(b,delete), \
+           $(b,query), $(b,metrics), $(b,shutdown)), answer one JSON \
+           line per command on stdout.  Edits are applied through an \
+           incremental revalidation session: only the dependency \
+           frontier of each delta is re-checked, and responses list the \
+           verdicts the delta flipped.  Malformed commands answer a \
+           plain $(b,error:) line and the daemon keeps serving.  \
+           --schema/--data preload a session; otherwise start with a \
+           $(b,load) command.")
 
 let cmd =
   let doc = "validate RDF graphs against Shape Expression schemas" in
@@ -640,9 +696,10 @@ let cmd =
   Cmd.v
     (Cmd.info "shex-validate" ~doc ~man)
     Term.(
-      const validate_cmd $ oracle_arg $ schema_arg $ data_arg $ node_arg
-      $ shape_arg
-      $ shape_map_arg $ engine_arg $ domains_arg $ engine_stats_arg
+      const validate_cmd $ oracle_arg $ serve_arg $ schema_arg $ data_arg
+      $ node_arg
+      $ shape_arg $ shape_map_arg $ engine_arg $ domains_arg
+      $ engine_stats_arg
       $ metrics_arg
       $ trace_json_arg $ trace_chrome_arg $ trace_folded_arg $ explain_arg
       $ trace_arg $ show_sparql_arg $ export_shexj_arg $ json_arg

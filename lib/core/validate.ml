@@ -50,13 +50,32 @@ let compiled_backend_installed () = Option.is_some !compiled_backend_factory
 
 type compiled = Counting of Sorbe.t | Table of compiled_matcher | Generic
 
+(* First-class dependency record of the fixpoint (PR 3 only emitted
+   these edges as telemetry events; incremental revalidation needs
+   them as data).  For every settled pair the tables hold the pairs
+   its *last* evaluation consulted — the edge set the final verdict
+   actually depends on — plus the reverse edges and a node index, so
+   a graph delta can walk from edited nodes back to every memoised
+   verdict that could observe it. *)
+type dep_record = {
+  deps : (Pair.t, Pair_set.t) Hashtbl.t;
+      (* pair → pairs its last evaluation consulted *)
+  rdeps : (Pair.t, Pair_set.t) Hashtbl.t;
+      (* exact reverse edges of [deps] *)
+  by_node : (Rdf.Term.t, Label.Set.t) Hashtbl.t;
+      (* node → labels with a memoised verdict on that node *)
+}
+
 type session = {
   engine : engine;
   schema : Schema.t;
-  graph : Rdf.Graph.t;
+  mutable graph : Rdf.Graph.t;
+      (* mutable for {!set_graph}: incremental sessions swap in the
+         edited graph and invalidate the affected memo entries *)
   domains : int;
       (* requested bulk-validation parallelism; 1 = sequential *)
   proven : (Pair.t, bool) Hashtbl.t;  (* settled verdicts, memoised *)
+  dep_record : dep_record option;     (* Some iff [record_deps] *)
   compiled : (Label.t, compiled) Hashtbl.t;
       (* per-label compilation: SORBE counting matcher or lazy DFA *)
   backend : compiled_backend option;
@@ -71,7 +90,7 @@ type session = {
 }
 
 let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
-    ?(domains = 1) schema graph =
+    ?(domains = 1) ?(record_deps = false) schema graph =
   let backend =
     match (engine, !compiled_backend_factory) with
     | (Compiled | Auto), Some make -> Some (make telemetry)
@@ -84,6 +103,13 @@ let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
   { engine; schema; graph;
     domains = max 1 domains;
     proven = Hashtbl.create 256;
+    dep_record =
+      (if record_deps then
+         Some
+           { deps = Hashtbl.create 256;
+             rdeps = Hashtbl.create 256;
+             by_node = Hashtbl.create 64 }
+       else None);
     compiled = Hashtbl.create 16;
     backend;
     tele = telemetry;
@@ -101,6 +127,52 @@ let schema st = st.schema
 let graph st = st.graph
 let engine st = st.engine
 let domains st = st.domains
+let record_deps st = Option.is_some st.dep_record
+let memo_size st = Hashtbl.length st.proven
+
+let set_graph st graph = st.graph <- graph
+
+let dependencies_of st p =
+  match st.dep_record with
+  | None -> []
+  | Some r ->
+      Option.fold ~none:[] ~some:Pair_set.elements
+        (Hashtbl.find_opt r.deps p)
+
+(* Reverse-edge maintenance: [unlink_rdep r ~dependent q] removes the
+   edge "dependent consulted q" from the reverse table. *)
+let unlink_rdep r ~dependent q =
+  match Hashtbl.find_opt r.rdeps q with
+  | None -> ()
+  | Some s ->
+      let s = Pair_set.remove dependent s in
+      if Pair_set.is_empty s then Hashtbl.remove r.rdeps q
+      else Hashtbl.replace r.rdeps q s
+
+(* Replace the recorded edge set of [p] with the consultations of its
+   latest evaluation, keeping [rdeps] exact (stale reverse edges would
+   make later invalidations walk — and kill — verdicts that no longer
+   depend on the flipped pair). *)
+let record_edges r p used =
+  let now = Pair_set.of_list used in
+  let before =
+    Option.value (Hashtbl.find_opt r.deps p) ~default:Pair_set.empty
+  in
+  let link q =
+    let s =
+      Option.value (Hashtbl.find_opt r.rdeps q) ~default:Pair_set.empty
+    in
+    Hashtbl.replace r.rdeps q (Pair_set.add p s)
+  in
+  Pair_set.iter (unlink_rdep r ~dependent:p) (Pair_set.diff before now);
+  Pair_set.iter link (Pair_set.diff now before);
+  Hashtbl.replace r.deps p now
+
+let index_node r ((n, l) : Pair.t) =
+  let ls =
+    Option.value (Hashtbl.find_opt r.by_node n) ~default:Label.Set.empty
+  in
+  Hashtbl.replace r.by_node n (Label.Set.add l ls)
 
 let compile st l e =
   match Hashtbl.find_opt st.compiled l with
@@ -277,6 +349,11 @@ and solve st root =
         let ok, used =
           evaluate st ~value:(fun q -> Hashtbl.find value q) ~demand p
         in
+        (* The last evaluation of each pair wins: its consultations are
+           the edges the settled verdict depends on. *)
+        (match st.dep_record with
+        | Some r -> record_edges r p used
+        | None -> ());
         List.iter
           (fun q ->
             let prev =
@@ -314,12 +391,81 @@ and solve st root =
         end
       end
     done;
-    Hashtbl.iter (fun p v -> Hashtbl.replace st.proven p v) value
+    Hashtbl.iter
+      (fun p v ->
+        Hashtbl.replace st.proven p v;
+        match st.dep_record with
+        | Some r -> index_node r p
+        | None -> ())
+      value
   end
 
 let verdict st p =
   solve st p;
   Hashtbl.find st.proven p
+
+(* Dependency-frontier invalidation: every memoised verdict anchored
+   on an edited node, plus — transitively, backwards along the
+   recorded edges — every verdict that consulted one of those.  What
+   remains in the memo was computed by evaluations that read only
+   unchanged neighbourhoods and reference answers that are themselves
+   retained, so re-running them against the new graph would reproduce
+   the memoised verdict verbatim; dropping exactly the frontier and
+   re-solving it therefore converges to the same greatest fixpoint as
+   a full from-scratch run (the oracle's edit-script arm checks this
+   equivalence mechanically). *)
+let invalidate_nodes st nodes =
+  match st.dep_record with
+  | None ->
+      (* No recorded edges: the only sound reaction to a graph change
+         is dropping the whole memo (a full revalidation). *)
+      let all = Hashtbl.fold (fun p v acc -> (p, v) :: acc) st.proven [] in
+      Hashtbl.reset st.proven;
+      all
+  | Some r ->
+      let visited = ref Pair_set.empty in
+      let queue = Queue.create () in
+      let push p =
+        if Hashtbl.mem st.proven p && not (Pair_set.mem p !visited) then begin
+          visited := Pair_set.add p !visited;
+          Queue.add p queue
+        end
+      in
+      List.iter
+        (fun n ->
+          match Hashtbl.find_opt r.by_node n with
+          | None -> ()
+          | Some ls -> Label.Set.iter (fun l -> push (n, l)) ls)
+        nodes;
+      let frontier = ref [] in
+      while not (Queue.is_empty queue) do
+        let p = Queue.pop queue in
+        frontier := (p, Hashtbl.find st.proven p) :: !frontier;
+        match Hashtbl.find_opt r.rdeps p with
+        | Some dependents -> Pair_set.iter push dependents
+        | None -> ()
+      done;
+      (* Drop the frontier from the memo and the dependency tables.
+         Every dependent of a frontier pair is itself in the frontier
+         (that is what the backwards walk computes), so unlinking each
+         dropped pair from the deps of what it consulted leaves the
+         tables exactly describing the retained memo. *)
+      List.iter
+        (fun (((n, l) as p), _) ->
+          Hashtbl.remove st.proven p;
+          (match Hashtbl.find_opt r.deps p with
+          | Some consulted ->
+              Pair_set.iter (unlink_rdep r ~dependent:p) consulted;
+              Hashtbl.remove r.deps p
+          | None -> ());
+          match Hashtbl.find_opt r.by_node n with
+          | None -> ()
+          | Some ls ->
+              let ls = Label.Set.remove l ls in
+              if Label.Set.is_empty ls then Hashtbl.remove r.by_node n
+              else Hashtbl.replace r.by_node n ls)
+        !frontier;
+      !frontier
 
 (* The typing τ produced by a successful check: the root fact plus the
    facts its (final) match relies on, transitively — mirroring how the

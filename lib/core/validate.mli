@@ -49,10 +49,34 @@ val session :
   ?engine:engine ->
   ?telemetry:Telemetry.t ->
   ?domains:int ->
+  ?record_deps:bool ->
   Schema.t ->
   Rdf.Graph.t ->
   session
-(** [domains] (default [1], values below 1 are clamped to 1) is the
+(** {b Cache lifetime.}  A session's caches live exactly as long as
+    the session and are shared by {e every} check made through it: the
+    (node, shape) verdict memo persists across {!check}/{!check_bool}/
+    {!check_all}/{!validate_graph} calls (re-checking a settled pair
+    re-evaluates nothing), and the per-label compilations — the SORBE
+    counters and the compiled-DFA transition tables of the automaton
+    backend — are built once per label and reused by all later calls.
+    Bulk runs with [domains > 1] validate their shards in {e private}
+    sub-sessions: they read the shared session's schema and graph but
+    neither consult nor write its memo, so a warm session's memo is
+    never clobbered (and never extended) by a parallel bulk call —
+    sequential calls on the same session afterwards still see every
+    previously settled verdict.
+
+    [record_deps] (default [false]) makes the fixpoint solver retain
+    its dependency edges as a first-class structure (PR 3 emitted them
+    only as [fixpoint_dep] telemetry events): for every settled pair
+    the session records which (node, shape) hypotheses its final
+    evaluation consulted, the reverse edges, and a node index.  This
+    is what {!invalidate_nodes} walks; the incremental subsystem
+    ([Shex_incremental]) creates its sessions with it on.  Costs one
+    hash-table update per evaluation; off by default.
+
+    [domains] (default [1], values below 1 are clamped to 1) is the
     bulk-validation parallelism {!check_all} may use: with [domains = n
     > 1] and the parallel runner linked (see {!set_bulk_checker}), a
     bulk check shards its associations over [n] OCaml domains.  It
@@ -75,6 +99,49 @@ val schema : session -> Schema.t
 val graph : session -> Rdf.Graph.t
 val engine : session -> engine
 val domains : session -> int
+
+(** {1 Incremental revalidation primitives}
+
+    The building blocks of [Shex_incremental.Session]: swap the graph,
+    invalidate the memoised verdicts a set of edited nodes can reach,
+    keep everything else — the retained memo, the per-label
+    compilations and the automaton backend's transition tables all
+    stay warm. *)
+
+val record_deps : session -> bool
+(** Whether the session retains fixpoint dependency edges. *)
+
+val memo_size : session -> int
+(** Number of memoised (node, shape) verdicts. *)
+
+val set_graph : session -> Rdf.Graph.t -> unit
+(** Replace the session's graph.  The memo is {e not} touched: the
+    caller must follow with {!invalidate_nodes} over every node whose
+    incident triples (as subject or object) differ between the old and
+    new graphs, or retained verdicts may be stale.  Matchers read only
+    the focus node's outgoing and incoming triples ({!Neigh.of_node}),
+    so that node set is exactly the subjects and objects of the edited
+    triples. *)
+
+val invalidate_nodes :
+  session -> Rdf.Term.t list -> ((Rdf.Term.t * Label.t) * bool) list
+(** [invalidate_nodes session nodes] drops from the memo every settled
+    pair anchored on one of [nodes] plus, transitively backwards along
+    the recorded dependency edges, every pair whose evaluation
+    consulted one of them — the {e dependency frontier} of the edit.
+    Returns the dropped pairs with their old verdicts (the incremental
+    layer re-solves them and reports verdict flips).  Verdicts outside
+    the frontier were computed from unchanged neighbourhoods and
+    retained reference answers, so they are still the greatest-fixpoint
+    verdicts of the new graph (see DESIGN.md §11 for the argument).
+
+    On a session without [record_deps] there are no edges to walk, so
+    the whole memo is dropped (sound, not incremental). *)
+
+val dependencies_of :
+  session -> Rdf.Term.t * Label.t -> (Rdf.Term.t * Label.t) list
+(** The (node, shape) hypotheses the pair's latest evaluation
+    consulted — empty when unrecorded or never evaluated. *)
 
 val metrics : session -> Telemetry.snapshot
 (** The session's unified metrics snapshot.  Engine counters are read

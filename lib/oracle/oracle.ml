@@ -154,6 +154,50 @@ let divergences schema graph assocs =
   in
   engine_findings @ extra
 
+(* Edits arm: replay a seeded edit script through an incremental
+   session and, after every edit, compare each association's verdict
+   against a from-scratch session over the same graph.  This is the
+   differential check behind lib/incremental's frontier-invalidation
+   soundness argument (DESIGN.md §11): any pair the invalidation walk
+   wrongly retains shows up here as a stale verdict. *)
+let edits_divergence schema graph script assocs =
+  let total = List.length script in
+  let inc = Shex_incremental.Session.create schema graph in
+  let rec go i = function
+    | [] -> None
+    | edit :: rest -> (
+        let delta =
+          match edit with
+          | Workload.Rand_gen.Insert tr ->
+              Shex_incremental.Session.insert [ tr ]
+          | Workload.Rand_gen.Delete tr ->
+              Shex_incremental.Session.delete [ tr ]
+        in
+        ignore (Shex_incremental.Session.apply inc delta);
+        let scratch =
+          Shex.Validate.session schema (Shex_incremental.Session.graph inc)
+        in
+        let mismatch =
+          List.find_opt
+            (fun (n, l) ->
+              Shex_incremental.Session.check_bool inc n l
+              <> Shex.Validate.check_bool scratch n l)
+            assocs
+        in
+        match mismatch with
+        | Some a ->
+            Some
+              { arm = "edits";
+                kind = Verdict;
+                detail =
+                  Printf.sprintf
+                    "edits: stale verdict at %s after edit %d/%d \
+                     (incremental ≠ from-scratch)"
+                    (assoc_text a) (i + 1) total }
+        | None -> go (i + 1) rest)
+  in
+  go 0 script
+
 (* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -267,6 +311,33 @@ let shrink schema graph assocs target =
   let graph = shrink_graph schema graph in
   (schema, graph, assocs)
 
+(* Edits shrink: associations, then script entries, then initial
+   triples.  [Shex_incremental.Session.apply] treats inserts of
+   present triples and deletes of absent ones as no-ops, so every
+   subsequence of a script is still a well-formed script and
+   [greedy_drop] applies directly.  The schema is kept whole: a stale
+   verdict lives in the dependency bookkeeping, not the expression
+   structure, and schema shrinking would invalidate the script's
+   arc-instantiation bias anyway. *)
+let shrink_edits schema graph script assocs (target : divergence) =
+  let still g sc a =
+    match edits_divergence schema g sc a with
+    | Some d -> d.arm = target.arm && d.kind = target.kind
+    | None -> false
+  in
+  let assocs =
+    match List.find_opt (fun a -> still graph script [ a ]) assocs with
+    | Some a -> [ a ]
+    | None -> greedy_drop assocs (fun c -> still graph script c)
+  in
+  let script = greedy_drop script (fun sc -> still graph sc assocs) in
+  let graph =
+    Rdf.Graph.of_list
+      (greedy_drop (Rdf.Graph.to_list graph) (fun triples ->
+           still (Rdf.Graph.of_list triples) script assocs))
+  in
+  (graph, script, assocs)
+
 (* ------------------------------------------------------------------ *)
 (* Repro files                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -309,6 +380,7 @@ let split_sections content =
     | "%schema" -> Some `Schema
     | "%data" -> Some `Data
     | "%map" -> Some `Map
+    | "%edits" -> Some `Edits
     | _ -> None
   in
   let rec go current acc = function
@@ -327,6 +399,7 @@ let split_sections content =
                   | `Schema -> 0
                   | `Data -> 1
                   | `Map -> 2
+                  | `Edits -> 3
                 in
                 let acc =
                   List.map
@@ -336,15 +409,61 @@ let split_sections content =
                 in
                 go current acc rest))
   in
-  match go None [ (0, ""); (1, ""); (2, "") ] lines with
+  match go None [ (0, ""); (1, ""); (2, ""); (3, "") ] lines with
   | Error _ as e -> e
   | Ok acc ->
-      Ok (List.assoc 0 acc, List.assoc 1 acc, List.assoc 2 acc)
+      Ok (List.assoc 0 acc, List.assoc 1 acc, List.assoc 2 acc, List.assoc 3 acc)
+
+(* One edit per line in the [%edits] section: [+]/[-], a space, then a
+   single N-Triples statement — self-contained (no prefixes), so the
+   section stays line-oriented. *)
+let edit_to_line edit =
+  let tr, sign =
+    match edit with
+    | Workload.Rand_gen.Insert tr -> (tr, "+")
+    | Workload.Rand_gen.Delete tr -> (tr, "-")
+  in
+  sign ^ " "
+  ^ String.trim (Turtle.Ntriples.to_string (Rdf.Graph.singleton tr))
+
+let parse_edit_lines text =
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok None
+    else if String.length line < 2 || (line.[0] <> '+' && line.[0] <> '-')
+    then Error (Printf.sprintf "edits: line must start with + or -: %s" line)
+    else
+      let body = String.sub line 1 (String.length line - 1) in
+      match Turtle.Ntriples.parse body with
+      | Error e -> Error ("edits: " ^ e)
+      | Ok g -> (
+          match Rdf.Graph.to_list g with
+          | [ tr ] ->
+              Ok
+                (Some
+                   (if line.[0] = '+' then Workload.Rand_gen.Insert tr
+                    else Workload.Rand_gen.Delete tr))
+          | _ -> Error (Printf.sprintf "edits: expected one triple: %s" line))
+  in
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Error _ as e -> e
+      | Ok edits -> (
+          match parse_line line with
+          | Error _ as e -> e
+          | Ok None -> Ok edits
+          | Ok (Some edit) -> Ok (edit :: edits)))
+    (Ok [])
+    (String.split_on_char '\n' text)
+  |> Result.map List.rev
 
 let ( let* ) = Result.bind
 
 let replay_string content =
-  let* schema_text, data_text, map_text = split_sections content in
+  let* schema_text, data_text, map_text, edits_text =
+    split_sections content
+  in
   let* doc =
     Result.map_error
       (fun e -> "schema: " ^ e)
@@ -360,12 +479,19 @@ let replay_string content =
       (fun e -> "map: " ^ e)
       (Shex.Shape_map.parse ~namespaces:doc.namespaces map_text)
   in
+  let* edits = parse_edit_lines edits_text in
   let assocs = Shex.Shape_map.resolve map graph in
   if assocs = [] then Error "map: no associations"
   else
     match divergences doc.schema graph assocs with
-    | [] -> Ok ()
     | d :: _ -> Error d.detail
+    | [] -> (
+        match edits with
+        | [] -> Ok ()
+        | _ -> (
+            match edits_divergence doc.schema graph edits assocs with
+            | Some d -> Error d.detail
+            | None -> Ok ()))
 
 let replay_file path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -421,3 +547,85 @@ let run_campaign ?(mode = Workload.Rand_gen.Surface) ?dir ?(log = ignore)
         findings := finding :: !findings
   done;
   { seeds_run = count; findings = List.rev !findings }
+
+(* ------------------------------------------------------------------ *)
+(* Edits campaign                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Edits = struct
+  type finding = {
+    seed : int;
+    divergence : divergence;
+    schema : Shex.Schema.t;
+    graph : Rdf.Graph.t;
+    script : Workload.Rand_gen.edit list;
+    associations : (Rdf.Term.t * Shex.Label.t) list;
+    repro : string option;
+  }
+
+  type summary = { seeds_run : int; findings : finding list }
+end
+
+let edits_repro_to_string (f : Edits.finding) =
+  let schema_text = Shexc.Shexc_printer.schema_to_string f.schema in
+  let data_text = Turtle.Write.to_string f.graph in
+  let map_text = String.concat ",\n" (List.map assoc_text f.associations) in
+  let edits_text = String.concat "\n" (List.map edit_to_line f.script) in
+  String.concat "\n"
+    [ Printf.sprintf "# oracle edits repro: seed %d" f.seed;
+      Printf.sprintf "# found as: %s" f.divergence.detail;
+      "%schema";
+      schema_text ^ "%data";
+      data_text ^ "%map";
+      map_text;
+      "%edits";
+      edits_text;
+      "" ]
+
+(* Edit-script seeds are derived from the case seed with a fixed xor
+   so the same integer reproduces both the workload and its script
+   (mirrored by the incremental property test). *)
+let edits_rng seed = Workload.Prng.create (seed lxor 0x5eed)
+
+let run_edits_campaign ?dir ?(log = ignore) ?(script_len = 12) ~first_seed
+    ~count () =
+  let findings = ref [] in
+  for seed = first_seed to first_seed + count - 1 do
+    let case = Workload.Rand_gen.case seed in
+    let script =
+      Workload.Rand_gen.edit_script (edits_rng seed) case.schema case.graph
+        script_len
+    in
+    match edits_divergence case.schema case.graph script case.associations with
+    | None -> ()
+    | Some d ->
+        log (Printf.sprintf "seed %d: %s" seed d.detail);
+        let graph, script, assocs =
+          shrink_edits case.schema case.graph script case.associations d
+        in
+        let divergence =
+          match edits_divergence case.schema graph script assocs with
+          | Some d' -> d'
+          | None -> d
+        in
+        let finding =
+          { Edits.seed; divergence; schema = case.schema; graph; script;
+            associations = assocs; repro = None }
+        in
+        let finding =
+          match dir with
+          | None -> finding
+          | Some dir -> (
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "oracle-edits-seed%d.repro" seed)
+              in
+              match edits_repro_to_string finding with
+              | text ->
+                  Json.write_file_atomic path text;
+                  { finding with Edits.repro = Some path }
+              | exception Invalid_argument _ -> finding)
+        in
+        findings := finding :: !findings
+  done;
+  { Edits.seeds_run = count; findings = List.rev !findings }

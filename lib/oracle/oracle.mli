@@ -18,8 +18,9 @@ type kind =
 type divergence = {
   arm : string;
       (** the disagreeing arm: ["backtrack"], ["auto"], ["compiled"],
-          ["sorbe"], ["domains=2"], ["domains=4"] or ["sparql"]; the
-          reference arm is always the sequential derivative engine *)
+          ["sorbe"], ["domains=2"], ["domains=4"], ["sparql"] or
+          ["edits"]; the reference arm is always the sequential
+          derivative engine *)
   kind : kind;
   detail : string;  (** one-line human-readable description *)
 }
@@ -81,8 +82,69 @@ val repro_to_string : finding -> string
     the ShExC-printable fragment (Extended-mode predicate sets). *)
 
 val replay_string : string -> (unit, string) result
-(** Parse a repro document and re-run {!divergences} on it: [Ok ()]
-    when every arm now agrees (the regression stays fixed), [Error
-    detail] otherwise.  Also [Error] on malformed documents. *)
+(** Parse a repro document and re-run {!divergences} on it — plus, when
+    the document carries a non-empty [%edits] section ([+]/[-] prefixed
+    N-Triples lines), the incremental edits arm over that script:
+    [Ok ()] when every arm now agrees (the regression stays fixed),
+    [Error detail] otherwise.  Also [Error] on malformed documents. *)
 
 val replay_file : string -> (unit, string) result
+
+(** {1 Incremental edits arm}
+
+    Differential testing of [Shex_incremental.Session]: replay a
+    seeded edit script ({!Workload.Rand_gen.edit_script}) through an
+    incremental session and compare every association's verdict, after
+    every edit, against a from-scratch session over the same graph.
+    This mechanically checks the frontier-invalidation soundness
+    argument of DESIGN.md §11. *)
+
+val edits_divergence :
+  Shex.Schema.t ->
+  Rdf.Graph.t ->
+  Workload.Rand_gen.edit list ->
+  (Rdf.Term.t * Shex.Label.t) list ->
+  divergence option
+(** The first stale verdict found while replaying the script, if
+    any — arm ["edits"], kind {!Verdict}. *)
+
+val shrink_edits :
+  Shex.Schema.t ->
+  Rdf.Graph.t ->
+  Workload.Rand_gen.edit list ->
+  (Rdf.Term.t * Shex.Label.t) list ->
+  divergence ->
+  Rdf.Graph.t * Workload.Rand_gen.edit list * (Rdf.Term.t * Shex.Label.t) list
+(** Greedy shrink preserving the divergence: associations, then script
+    edits, then initial graph triples.  The schema is left whole. *)
+
+module Edits : sig
+  type finding = {
+    seed : int;
+    divergence : divergence;
+    schema : Shex.Schema.t;
+    graph : Rdf.Graph.t;  (** shrunk initial graph *)
+    script : Workload.Rand_gen.edit list;  (** shrunk script *)
+    associations : (Rdf.Term.t * Shex.Label.t) list;
+    repro : string option;
+  }
+
+  type summary = { seeds_run : int; findings : finding list }
+end
+
+val edits_repro_to_string : Edits.finding -> string
+(** Like {!repro_to_string} with an extra [%edits] section, one
+    [+ <s> <p> <o> .] / [- <s> <p> <o> .] N-Triples line per edit. *)
+
+val run_edits_campaign :
+  ?dir:string ->
+  ?log:(string -> unit) ->
+  ?script_len:int ->
+  first_seed:int ->
+  count:int ->
+  unit ->
+  Edits.summary
+(** Generate [count] seeded Surface-mode workloads with edit scripts
+    (default [script_len] 12) and check each with
+    {!edits_divergence}.  Findings are shrunk and, with [?dir] set,
+    written as [oracle-edits-seed<N>.repro]. *)

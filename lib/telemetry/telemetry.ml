@@ -184,6 +184,28 @@ let merge ~into src =
       src.spans
   end
 
+(* Zero every instrument in place, keeping registrations (and any
+   installed sink): instruments already resolved by running sessions
+   stay live, so a long-running server can reset between requests
+   without re-creating its sessions.  Counters and gauges drop to 0,
+   histograms forget their buckets, spans their totals. *)
+let reset t =
+  if t.on then begin
+    Hashtbl.iter (fun _ (c : Counter.t) -> c.v <- 0) t.counters;
+    Hashtbl.iter
+      (fun _ (h : Histogram.t) ->
+        Array.fill h.counts 0 Histogram.n_buckets 0;
+        h.count <- 0;
+        h.sum <- 0;
+        h.max <- 0)
+      t.histograms;
+    Hashtbl.iter
+      (fun _ (s : Span.t) ->
+        s.count <- 0;
+        s.total <- 0.)
+      t.spans
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Events                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -270,6 +292,54 @@ let counters s =
     (fun (a, _) (b, _) -> String.compare a b)
     (s.s_counters @ s.s_gauges)
 let find_counter s name = List.assoc_opt name (counters s)
+
+(* The per-request delta of a long-running process: subtract the
+   [since] baseline from [now], member-wise.  Monotone instruments
+   (counters, histogram counts/sums/buckets, span counts/totals)
+   subtract and clamp at zero, so a reset between the two snapshots
+   degrades to reporting [now] rather than going negative.  Gauges are
+   level readings, not accumulations, so the diff keeps the current
+   reading; a histogram's [max] likewise cannot be un-merged and keeps
+   the [now] value. *)
+let diff ~since now =
+  (* A monotone reading below its baseline means the registry was
+     reset inside the window; the whole [now] value is then window
+     work, so subtraction degrades to identity rather than clamping
+     information away. *)
+  let sub v base = if v < base then v else v - base in
+  let subf v base = if v < base then v else v -. base in
+  let base_int names name = Option.value ~default:0 (List.assoc_opt name names) in
+  let sub_ints nows sinces =
+    List.map (fun (name, v) -> (name, sub v (base_int sinces name))) nows
+  in
+  let sub_histo (name, h) =
+    match List.assoc_opt name since.s_histograms with
+    | None -> (name, h)
+    | Some h0 when h.h_count < h0.h_count -> (name, h)
+    | Some h0 ->
+        let bucket0 le = base_int h0.h_buckets le in
+        ( name,
+          { h_count = sub h.h_count h0.h_count;
+            h_sum = sub h.h_sum h0.h_sum;
+            h_max = h.h_max;
+            h_buckets =
+              List.filter_map
+                (fun (le, n) ->
+                  let d = sub n (bucket0 le) in
+                  if d > 0 then Some (le, d) else None)
+                h.h_buckets } )
+  in
+  let sub_span (name, (count, total)) =
+    match List.assoc_opt name since.s_spans with
+    | None -> (name, (count, total))
+    | Some (c0, t0) -> (name, (sub count c0, subf total t0))
+  in
+  {
+    s_counters = sub_ints now.s_counters since.s_counters;
+    s_gauges = now.s_gauges;
+    s_histograms = List.map sub_histo now.s_histograms;
+    s_spans = List.map sub_span now.s_spans;
+  }
 
 let to_json s =
   let ints kvs = Json.Object (List.map (fun (k, v) -> (k, Json.int v)) kvs) in

@@ -105,6 +105,16 @@ val merge : into:t -> t -> unit
     folds them in after {!Domain.join}.  No-op when either registry
     is disabled.  [src] is left unchanged. *)
 
+val reset : t -> unit
+(** Zero every registered instrument in place — counters and gauges to
+    0, histograms to empty, spans to no runs — keeping registrations,
+    instrument identity and any installed sink.  Instruments already
+    resolved by live sessions keep recording into the same cells, so a
+    long-running server can reset between requests without rebuilding
+    its sessions.  Monotone counters therefore stop leaking across
+    requests: after [reset] a {!snapshot} reports only post-reset
+    work.  No-op on {!disabled}. *)
+
 (** {1 Structured events}
 
     The sink receives one {!event} per emission — the derivative
@@ -181,6 +191,17 @@ val counters : snapshot -> (string * int) list
 (** Counters and gauges, sorted by name. *)
 
 val find_counter : snapshot -> string -> int option
+
+val diff : since:snapshot -> snapshot -> snapshot
+(** [diff ~since now] is the per-window delta between two snapshots of
+    the same registry — what a long-running server reports per
+    request without resetting.  Monotone readings (counters, histogram
+    counts/sums/buckets, span counts and seconds) subtract member-wise;
+    a reading below its [since] baseline means the registry was
+    {!reset} inside the window, and the diff then reports the [now]
+    value unchanged (never a negative); gauges and histogram
+    maxima are level readings and keep their [now] values; instruments
+    that first appear in [now] pass through unchanged. *)
 
 val to_json : snapshot -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...},

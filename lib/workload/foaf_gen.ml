@@ -29,12 +29,27 @@ let first_names =
 
 let violations = [ Missing_name; Extra_age; Age_not_integer; Knows_literal ]
 
-let generate profile =
+let gen ?community profile =
   let rng = Prng.create profile.seed in
   let n = profile.n_persons in
   let is_invalid = Array.init n (fun _ -> Prng.bool rng profile.invalid_fraction) in
   let valid_indices =
     List.filter (fun k -> not is_invalid.(k)) (List.init n Fun.id)
+  in
+  (* Eligible knows-targets of person [k]: every valid person, or —
+     clustered portals — the valid persons of [k]'s own community. *)
+  let eligible =
+    match community with
+    | None -> fun _ -> valid_indices
+    | Some c ->
+        let blocks : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun j ->
+            let b = j / c in
+            let prev = Option.value (Hashtbl.find_opt blocks b) ~default:[] in
+            Hashtbl.replace blocks b (j :: prev))
+          (List.rev valid_indices);
+        fun k -> Option.value (Hashtbl.find_opt blocks (k / c)) ~default:[]
   in
   let add = Rdf.Graph.add in
   let graph = ref Rdf.Graph.empty in
@@ -48,10 +63,10 @@ let generate profile =
            (Printf.sprintf "%s %d" (Prng.pick rng first_names) k))
     in
     let knows_valid () =
-      match valid_indices with
+      match eligible k with
       | [] -> ()
-      | _ ->
-          let target = Prng.pick rng valid_indices in
+      | candidates ->
+          let target = Prng.pick rng candidates in
           if target <> k then emit me (foaf "knows") (person_iri target)
     in
     if not is_invalid.(k) then begin
@@ -92,6 +107,11 @@ let generate profile =
   { graph = !graph;
     valid = List.map person_iri valid;
     invalid = List.map person_iri invalid }
+
+let generate profile = gen profile
+
+let generate_clustered ?(community = 10) profile =
+  gen ~community:(max 1 community) profile
 
 let person_schema () =
   let person = Shex.Label.of_string "Person" in

@@ -34,6 +34,17 @@ type generated = {
 
 val generate : profile -> generated
 
+val generate_clustered : ?community:int -> profile -> generated
+(** Like {!generate}, but [foaf:knows] arcs stay within communities of
+    [community] consecutive persons (default 10) instead of being
+    drawn uniformly — the portal shape with locality.  Uniform knows
+    at degree ≥ 2 produce one giant strongly-connected component, so
+    under the recursive schema a single verdict flip cascades through
+    most of the portal and {e any} sound incremental revalidation
+    degenerates to a near-full re-run; community structure bounds the
+    dependency frontier of an edit by the community size, independent
+    of portal size (experiment E14 measures both regimes). *)
+
 val person_schema : unit -> Shex.Schema.t * Shex.Label.t
 (** The Example 1/14 schema:
     [person ↦ foaf:age→xsd:integer ‖ (foaf:name→xsd:string)+ ‖

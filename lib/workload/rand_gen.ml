@@ -282,6 +282,76 @@ let graph_for rng schema =
   done;
   (!graph, node_terms)
 
+(* ------------------------------------------------------------------ *)
+(* Edit scripts                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type edit = Insert of Rdf.Triple.t | Delete of Rdf.Triple.t
+
+let apply_edit g = function
+  | Insert tr -> Rdf.Graph.add tr g
+  | Delete tr -> Rdf.Graph.remove tr g
+
+(* Inserts are biased toward instantiating the schema's own arc
+   constraints (like [graph_for]) so edits actually flip verdicts
+   instead of only adding ignorable noise; the same degree cap keeps
+   the backtracking baseline feasible after any prefix of the
+   script. *)
+let edit_script rng schema graph n =
+  let arcs =
+    List.concat_map
+      (fun (_, (s : Shex.Schema.shape)) -> Shex.Rse.arcs s.expr)
+      (Shex.Schema.shapes schema)
+  in
+  let node () = Prng.pick rng node_terms in
+  let degree t g = Rdf.Graph.cardinal (Rdf.Graph.neighbourhood t g) in
+  let gen_insert g =
+    let candidate () =
+      if arcs <> [] && Prng.bool rng 0.7 then begin
+        let (a : Shex.Rse.arc) = Prng.pick rng arcs in
+        let p = instantiate_pred rng a.pred in
+        let focus = node () in
+        let obj =
+          match a.obj with
+          | Shex.Rse.Ref _ -> node ()
+          | Shex.Rse.Values vo ->
+              if Prng.bool rng 0.7 then matching_object rng vo
+              else Prng.pick rng object_pool
+        in
+        if a.inverse then Rdf.Triple.make_opt obj p focus
+        else Rdf.Triple.make_opt focus p obj
+      end
+      else
+        Rdf.Triple.make_opt (node ()) (Prng.pick rng pred_pool)
+          (Prng.pick rng object_pool)
+    in
+    let rec fresh tries =
+      match candidate () with
+      | Some tr
+        when (not (Rdf.Graph.mem tr g))
+             && degree (Rdf.Triple.subject tr) g < max_degree
+             && degree (Rdf.Triple.obj tr) g < max_degree ->
+          Some tr
+      | _ -> if tries < 8 then fresh (tries + 1) else None
+    in
+    fresh 0
+  in
+  let rec build g k acc =
+    if k = 0 then List.rev acc
+    else
+      let existing = Rdf.Graph.to_list g in
+      let delete () =
+        let tr = Prng.pick rng existing in
+        build (Rdf.Graph.remove tr g) (k - 1) (Delete tr :: acc)
+      in
+      if existing <> [] && Prng.bool rng 0.45 then delete ()
+      else
+        match gen_insert g with
+        | Some tr -> build (Rdf.Graph.add tr g) (k - 1) (Insert tr :: acc)
+        | None -> if existing = [] then List.rev acc else delete ()
+  in
+  build graph n []
+
 let case ?(mode = Surface) seed =
   let rng = Prng.create seed in
   let schema = schema ~mode rng in

@@ -47,3 +47,22 @@ val graph_for : Prng.t -> Shex.Schema.t -> Rdf.Graph.t * Rdf.Term.t list
 (** A graph biased toward the schema's arc constraints (most triples
     instantiate some generated arc, with both matching and
     near-missing objects) plus noise, and the focus-node pool. *)
+
+(** {1 Edit scripts}
+
+    Seeded triple-level edits for the incremental revalidation
+    differential arm ([--oracle mode=edits]) and the incremental
+    session's property tests. *)
+
+type edit = Insert of Rdf.Triple.t | Delete of Rdf.Triple.t
+
+val apply_edit : Rdf.Graph.t -> edit -> Rdf.Graph.t
+
+val edit_script :
+  Prng.t -> Shex.Schema.t -> Rdf.Graph.t -> int -> edit list
+(** [edit_script rng schema graph n] is a script of up to [n] edits,
+    each valid against the graph produced by the preceding prefix
+    (inserts are absent before, deletes present).  Inserts are biased
+    toward instantiating the schema's arc constraints so scripts flip
+    verdicts, and respect [graph_for]'s node-degree cap so the
+    backtracking baseline stays feasible at every step. *)

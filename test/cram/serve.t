@@ -1,0 +1,88 @@
+The --serve daemon on the paper's Examples 1-2 fixture (same setup as
+validate.t):
+
+  $ cat > person.shex <<'SCHEMA'
+  > PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+  > PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+  > <Person> {
+  >   foaf:age xsd:integer
+  >   , foaf:name xsd:string+
+  >   , foaf:knows @<Person>*
+  > }
+  > SCHEMA
+
+  $ cat > people.ttl <<'DATA'
+  > @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+  > @prefix : <http://example.org/> .
+  > :john foaf:age 23; foaf:name "John"; foaf:knows :bob .
+  > :bob foaf:age 34; foaf:name "Bob", "Robert" .
+  > :mary foaf:age 50, 65 .
+  > DATA
+
+One JSON command per stdin line, one JSON response per stdout line.
+Deleting bob's age invalidates exactly the dependency frontier of the
+edit — bob and, through john's `knows @<Person>` reference, john, but
+never mary — and the response lists the verdicts the delta flipped.
+Re-inserting the triple flips them back.  EOF ends the daemon with
+exit 0:
+
+  $ shex-validate --serve --schema person.shex --data people.ttl <<'EOF'
+  > {"cmd":"query","node":"http://example.org/john","shape":"Person"}
+  > {"cmd":"query","node":"http://example.org/mary","shape":"Person"}
+  > {"cmd":"delete","triples":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/age> 34 ."}
+  > {"cmd":"query","node":"http://example.org/john","shape":"Person"}
+  > {"cmd":"insert","triples":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/age> 34 ."}
+  > {"cmd":"query","node":"http://example.org/john","shape":"Person"}
+  > EOF
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true}
+  {"ok":true,"node":"<http://example.org/mary>","shape":"Person","conformant":false}
+  {"ok":true,"applied":1,"frontier":2,"resolved":2,"changed":[{"node":"<http://example.org/john>","shape":"Person","conformant":false},{"node":"<http://example.org/bob>","shape":"Person","conformant":false}]}
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":false}
+  {"ok":true,"applied":1,"frontier":2,"resolved":2,"changed":[{"node":"<http://example.org/john>","shape":"Person","conformant":true},{"node":"<http://example.org/bob>","shape":"Person","conformant":true}]}
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true}
+
+A session can also start empty and be loaded over the protocol; no-op
+edits (deleting an absent triple) apply nothing and invalidate
+nothing:
+
+  $ shex-validate --serve <<'EOF'
+  > {"cmd":"load","schema":"person.shex","data":"people.ttl"}
+  > {"cmd":"delete","triples":"<http://example.org/nobody> <http://xmlns.com/foaf/0.1/age> 99 ."}
+  > {"cmd":"shutdown"}
+  > EOF
+  {"ok":true,"shapes":1,"triples":8}
+  {"ok":true,"applied":0,"frontier":0,"resolved":0,"changed":[]}
+  {"ok":true}
+
+Malformed commands — broken JSON, unknown commands, missing members,
+commands before any schema is loaded, unparsable triples, unknown
+shape labels — answer a plain "error:" line and the daemon keeps
+serving (the final query still works, and the error count lands in
+the metrics):
+
+  $ shex-validate --serve --schema person.shex --data people.ttl <<'EOF' \
+  >   | sed -E 's/"seconds":[0-9.e+-]+/"seconds":_/g'
+  > not json at all
+  > {"nocmd":true}
+  > {"cmd":"frobnicate"}
+  > {"cmd":"insert"}
+  > {"cmd":"insert","triples":"this is not turtle"}
+  > {"cmd":"query","node":"http://example.org/john","shape":"Nope"}
+  > {"cmd":"query","node":"http://example.org/john","shape":"Person"}
+  > {"cmd":"metrics"}
+  > EOF
+  error: parse: JSON error at 1:2: expected 'u'
+  error: missing "cmd" member
+  error: unknown command "frobnicate" (known: load, insert, delete, query, metrics, shutdown)
+  error: missing "triples" member (Turtle text)
+  error: triples: lexical error at 1:5: expected ':' after "this"
+  error: unknown shape label "Nope" (known: Person)
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true}
+  {"ok":true,"metrics":{"counters":{"backtrack_branches":0,"backtrack_decompositions":0,"deriv_steps":6,"fixpoint_demands":2,"fixpoint_flips":0,"fixpoint_iterations":2,"incremental_deltas":0,"incremental_edits":0,"incremental_full_resets":0,"incremental_invalidated":0,"incremental_resolved":0,"serve_errors":6,"serve_requests":8,"sorbe_counter_updates":0,"sorbe_matches":0},"gauges":{},"histograms":{"deriv_size_after":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"deriv_size_before":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"incremental_frontier_size":{"count":0,"sum":0,"max":0,"buckets":{}}},"spans":{"incremental_apply":{"count":0,"seconds":_},"serve_request":{"count":7,"seconds":_}}}}
+
+Commands before a load (daemon started bare) are errors, not crashes:
+
+  $ shex-validate --serve <<'EOF'
+  > {"cmd":"query","node":"http://example.org/john","shape":"Person"}
+  > EOF
+  error: no schema loaded (send {"cmd":"load",...} first)

@@ -65,6 +65,16 @@ let test_seed_231_agrees () =
   check_int "divergences" 0
     (List.length (Oracle.divergences case.schema case.graph case.associations))
 
+let test_campaign_edits () =
+  (* The incremental arm: seeded edit scripts, every verdict diffed
+     against a from-scratch session after every edit. *)
+  let summary = Oracle.run_edits_campaign ~first_seed:0 ~count:40 () in
+  check_int "seeds run" 40 summary.seeds_run;
+  List.iter
+    (fun (f : Oracle.Edits.finding) ->
+      Alcotest.failf "seed %d: %s" f.seed f.divergence.detail)
+    summary.findings
+
 (* --------------------------------------------------------------- *)
 (* Repro documents                                                  *)
 (* --------------------------------------------------------------- *)
@@ -100,7 +110,43 @@ let test_replay_malformed () =
   expect_error "no sections" "just some text\n";
   expect_error "bad schema" "%schema\n<S1> {\n%data\n%map\n<n>@<S1>\n";
   expect_error "empty map"
-    "%schema\n<http://example.org/S1> {}\n%data\n%map\n"
+    "%schema\n<http://example.org/S1> {}\n%data\n%map\n";
+  expect_error "edits line without sign"
+    "%schema\n<http://example.org/S1> {}\n%data\n%map\n\
+     <http://example.org/n0>@<http://example.org/S1>\n%edits\n\
+     <http://example.org/n0> <http://example.org/p0> \
+     <http://example.org/n1> .\n";
+  expect_error "edits line not a triple"
+    "%schema\n<http://example.org/S1> {}\n%data\n%map\n\
+     <http://example.org/n0>@<http://example.org/S1>\n%edits\n\
+     + not a triple\n"
+
+let test_edits_repro_roundtrip () =
+  (* A synthetic edits finding renders to a document whose %edits
+     section parses back and replays clean. *)
+  List.iter
+    (fun seed ->
+      let case = Workload.Rand_gen.case seed in
+      let rng = Workload.Prng.create (seed lxor 0x5eed) in
+      let script =
+        Workload.Rand_gen.edit_script rng case.schema case.graph 8
+      in
+      let finding =
+        { Oracle.Edits.seed = case.seed;
+          divergence =
+            { Oracle.arm = "none"; kind = Oracle.Verdict;
+              detail = "(synthetic)" };
+          schema = case.schema;
+          graph = case.graph;
+          script;
+          associations = case.associations;
+          repro = None }
+      in
+      let doc = Oracle.edits_repro_to_string finding in
+      match Oracle.replay_string doc with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "seed %d edits replay: %s\n%s" seed e doc)
+    [ 0; 7; 42 ]
 
 let suites =
   [ ( "oracle",
@@ -111,7 +157,11 @@ let suites =
           test_campaign_extended;
         Alcotest.test_case "seed 231 agrees after literal fix" `Quick
           test_seed_231_agrees;
+        Alcotest.test_case "edits campaign, seeds 0-39" `Slow
+          test_campaign_edits;
         Alcotest.test_case "repro document round-trip" `Quick
           test_repro_roundtrip;
+        Alcotest.test_case "edits repro round-trip" `Quick
+          test_edits_repro_roundtrip;
         Alcotest.test_case "malformed repro documents" `Quick
           test_replay_malformed ] ) ]

@@ -206,6 +206,63 @@ let test_compiled_session_scoped () =
   | _ -> Alcotest.fail "compiled sessions must expose cache stats"
 
 (* ------------------------------------------------------------------ *)
+(* Session caches survive repeated checks and bulk runs               *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_cache_lifetime () =
+  (* The memo and compiled tables are session-scoped, not call-scoped:
+     a second [check] of the same pair answers from the memo (no new
+     fixpoint evaluations, no new DFA states), and a [check_all] over
+     [--domains] shards — each a private sub-session — leaves the
+     shared session's memo intact. *)
+  let s = Label.of_string "S" in
+  let schema = Schema.make_exn [ (s, arc_num "a" [ 1 ]) ] in
+  let g = graph_of [ t3 "n" "a" (num 1); t3 "m" "a" (num 2) ] in
+  let tele = Telemetry.create () in
+  let iterations = Telemetry.counter tele "fixpoint_iterations" in
+  let st =
+    Validate.session ~engine:Validate.Compiled ~telemetry:tele ~domains:2
+      schema g
+  in
+  check_bool "n conforms" true (Validate.check_bool st (node "n") s);
+  check_bool "m fails" false (Validate.check_bool st (node "m") s);
+  let warm_iters = Telemetry.Counter.value iterations in
+  let warm_memo = Validate.memo_size st in
+  let warm_states =
+    match Validate.compiled_stats st with
+    | Some stats -> stats.Validate.states
+    | None -> Alcotest.fail "compiled session must expose cache stats"
+  in
+  check_bool "first checks did evaluate" true (warm_iters > 0);
+  check_int "both verdicts memoised" 2 warm_memo;
+  (* Re-checking answers from the memo: no further evaluations, no
+     further compiled states. *)
+  check_bool "n still conforms" true (Validate.check_bool st (node "n") s);
+  check_bool "m still fails" false (Validate.check_bool st (node "m") s);
+  check_int "repeat checks hit the memo" warm_iters
+    (Telemetry.Counter.value iterations);
+  (match Validate.compiled_stats st with
+  | Some stats -> check_int "no new DFA states" warm_states stats.Validate.states
+  | None -> Alcotest.fail "compiled session must expose cache stats");
+  (* A sharded bulk run builds private sub-sessions; the shared memo
+     is neither clobbered nor grown behind the session's back. *)
+  let outcomes = Validate.check_all st [ (node "n", s); (node "m", s) ] in
+  check_bool "bulk verdicts agree" true
+    (List.map (fun (o : Validate.outcome) -> o.Validate.ok) outcomes
+    = [ true; false ]);
+  check_int "bulk run leaves the memo intact" warm_memo
+    (Validate.memo_size st);
+  (* The shard sub-sessions merged their own iteration counts into the
+     shared registry; what matters is that the shared session itself
+     still answers from its memo afterwards — zero further
+     evaluations. *)
+  let after_bulk = Telemetry.Counter.value iterations in
+  check_bool "n conforms after bulk" true (Validate.check_bool st (node "n") s);
+  check_bool "m fails after bulk" false (Validate.check_bool st (node "m") s);
+  check_int "shared session still answers from its memo" after_bulk
+    (Telemetry.Counter.value iterations)
+
+(* ------------------------------------------------------------------ *)
 (* Atomic JSON writes                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -340,6 +397,8 @@ let tests =
       test_span_closed_on_raise;
     Alcotest.test_case "compiled caches are session-scoped" `Quick
       test_compiled_session_scoped;
+    Alcotest.test_case "session caches survive checks and bulk runs" `Quick
+      test_session_cache_lifetime;
     Alcotest.test_case "json: atomic file writes" `Quick test_write_file_atomic;
     Alcotest.test_case "bulk runner installed" `Quick test_bulk_installed;
     Alcotest.test_case "tracing forces the sequential path" `Quick

@@ -107,6 +107,102 @@ let test_span_and_events () =
   Alcotest.(check int) "sink removed" 1 (List.length !seen)
 
 (* ------------------------------------------------------------------ *)
+(* Reset and snapshot diff (the long-running-server primitives)        *)
+(* ------------------------------------------------------------------ *)
+
+(* A reset registry must look exactly like a fresh one that registered
+   the same instruments — and merging into it afterwards must land on
+   the zeroed cells, so merge → reset → merge round-trips. *)
+let test_merge_reset_roundtrip () =
+  let shard () =
+    let t = Telemetry.create () in
+    Telemetry.Counter.add (Telemetry.counter t "steps") 5;
+    Telemetry.Counter.set (Telemetry.gauge t "states") 3;
+    Telemetry.Histogram.observe (Telemetry.histogram t "sizes") 9;
+    ignore (Telemetry.Span.time (Telemetry.span t "work") (fun () -> ()));
+    t
+  in
+  let parent = Telemetry.create () in
+  Telemetry.merge ~into:parent (shard ());
+  Telemetry.merge ~into:parent (shard ());
+  let merged = Telemetry.snapshot parent in
+  Alcotest.(check int) "merged counter" 10 (get merged "steps");
+  Alcotest.(check int) "merged gauge" 6 (get merged "states");
+  (* The instrument resolved before the reset must stay live after. *)
+  let c = Telemetry.counter parent "steps" in
+  Telemetry.reset parent;
+  let zeroed = Telemetry.snapshot parent in
+  Alcotest.(check int) "reset counter" 0 (get zeroed "steps");
+  Alcotest.(check int) "reset gauge" 0 (get zeroed "states");
+  Alcotest.(check bool)
+    "registrations survive reset" false
+    (Telemetry.is_empty zeroed);
+  Telemetry.Counter.incr c;
+  Alcotest.(check int)
+    "pre-reset instrument still records" 1
+    (get (Telemetry.snapshot parent) "steps");
+  Telemetry.reset parent;
+  Telemetry.merge ~into:parent (shard ());
+  let again = Telemetry.snapshot parent in
+  Alcotest.(check int) "merge after reset" 5 (get again "steps");
+  Alcotest.(check int) "gauge after reset-merge" 3 (get again "states");
+  (* Histograms and spans reset too: one shard's worth, not three. *)
+  let json = Telemetry.to_json again in
+  let histo_count =
+    Option.bind (Json.find "histograms" json) (Json.find "sizes")
+    |> Fun.flip Option.bind (Json.find_int "count")
+  in
+  Alcotest.(check (option int)) "histogram count after reset" (Some 1)
+    histo_count;
+  let span_count =
+    Option.bind (Json.find "spans" json) (Json.find "work")
+    |> Fun.flip Option.bind (Json.find_int "count")
+  in
+  Alcotest.(check (option int)) "span count after reset" (Some 1) span_count
+
+(* diff ~since now isolates exactly the work between two snapshots. *)
+let test_snapshot_diff () =
+  let t = Telemetry.create () in
+  let c = Telemetry.counter t "steps" in
+  let g = Telemetry.gauge t "states" in
+  let h = Telemetry.histogram t "sizes" in
+  Telemetry.Counter.add c 7;
+  Telemetry.Counter.set g 4;
+  Telemetry.Histogram.observe h 3;
+  let since = Telemetry.snapshot t in
+  Telemetry.Counter.add c 5;
+  Telemetry.Counter.set g 9;
+  Telemetry.Histogram.observe h 3;
+  Telemetry.Histogram.observe h 100;
+  let d = Telemetry.diff ~since (Telemetry.snapshot t) in
+  Alcotest.(check int) "counter delta" 5 (get d "steps");
+  Alcotest.(check int) "gauge keeps level reading" 9 (get d "states");
+  let json = Telemetry.to_json d in
+  let sizes = Option.bind (Json.find "histograms" json) (Json.find "sizes") in
+  Alcotest.(check (option int))
+    "histogram count delta" (Some 2)
+    (Option.bind sizes (Json.find_int "count"));
+  Alcotest.(check (option int))
+    "histogram sum delta" (Some 103)
+    (Option.bind sizes (Json.find_int "sum"));
+  let bucket le =
+    Option.bind sizes (Json.find "buckets")
+    |> Fun.flip Option.bind (Json.find_int le)
+  in
+  Alcotest.(check (option int)) "window bucket le=4" (Some 1) (bucket "4");
+  Alcotest.(check (option int)) "window bucket le=128" (Some 1) (bucket "128");
+  (* A reset between the snapshots degrades to reporting [now]. *)
+  Telemetry.reset t;
+  Telemetry.Counter.add c 2;
+  let after_reset = Telemetry.diff ~since (Telemetry.snapshot t) in
+  Alcotest.(check int) "reset inside window reports now" 2
+    (get after_reset "steps");
+  (* New instruments pass through. *)
+  Telemetry.Counter.incr (Telemetry.counter t "fresh");
+  Alcotest.(check int) "fresh instrument passes through" 1
+    (get (Telemetry.diff ~since (Telemetry.snapshot t)) "fresh")
+
+(* ------------------------------------------------------------------ *)
 (* Exact engine counters                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -222,7 +318,10 @@ let suites =
       [ Alcotest.test_case "counters and gauges" `Quick test_counters;
         Alcotest.test_case "disabled registry is inert" `Quick test_disabled;
         Alcotest.test_case "histogram log2 buckets" `Quick test_histogram;
-        Alcotest.test_case "spans and event sink" `Quick test_span_and_events
+        Alcotest.test_case "spans and event sink" `Quick test_span_and_events;
+        Alcotest.test_case "merge-then-reset round-trips" `Quick
+          test_merge_reset_roundtrip;
+        Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff
       ] );
     ( "telemetry.engines",
       [ Alcotest.test_case "derivative steps are linear" `Quick
