@@ -11,6 +11,10 @@
      dune exec bench/main.exe -- --quick      # smaller sweeps
      dune exec bench/main.exe -- --smoke      # tiny sweeps + budgets (CI)
      dune exec bench/main.exe -- --json FILE  # machine-readable results
+     dune exec bench/main.exe -- --baseline FILE
+                                              # perf ratchet: exit 3 when a
+                                                timing regresses past FILE's
+                                                tolerance band
      dune exec bench/main.exe -- --micro      # bechamel micro-benchmarks
      dune exec bench/main.exe -- --trace-chrome FILE
                                               # export one traced portal
@@ -71,30 +75,35 @@ let row fmt = Format.printf fmt
    structured rows and owns a live telemetry registry: each experiment
    re-runs one representative workload untimed with instruments
    attached (never inside a timed closure — the tables stay honest)
-   and the snapshot is embedded next to the rows. *)
+   and the snapshot is embedded next to the rows.  [--baseline FILE]
+   needs the same structured rows (it compares their timing cells), so
+   recording is on whenever either flag is given. *)
 let json_out : string option ref = ref None
+let baseline_in : string option ref = ref None
 let experiments_json : Json.t list ref = ref []
 let current_rows : Json.t list ref = ref []
 let current_tele = ref Telemetry.disabled
+
+let recording () = !json_out <> None || !baseline_in <> None
 
 let tele () = !current_tele
 let jint n = Json.int n
 let jflt v = Json.Number v
 let jstr s = Json.String s
-let jrow cells = if !json_out <> None then
+let jrow cells = if recording () then
   current_rows := Json.Object cells :: !current_rows
 
 (* Run an instrumented observation only when a JSON report wants its
    telemetry — table mode skips the extra (untimed) work entirely. *)
-let observe f = if !json_out <> None then ignore (f ())
+let observe f = if recording () then ignore (f ())
 
 let begin_experiment () =
   current_rows := [];
   current_tele :=
-    (if !json_out = None then Telemetry.disabled else Telemetry.create ())
+    (if recording () then Telemetry.create () else Telemetry.disabled)
 
 let end_experiment id =
-  if !json_out <> None then
+  if recording () then
     experiments_json :=
       Json.Object
         [ ("id", jstr id);
@@ -699,7 +708,7 @@ let e10 () =
      In JSON mode it is the experiment registry, so the snapshot of a
      fully-instrumented portal run lands in the report. *)
   let enabled_reg =
-    if !json_out <> None then tele () else Telemetry.create ()
+    if recording () then tele () else Telemetry.create ()
   in
   row "  %-7s %-8s %-12s %-12s %-10s@." "persons" "triples" "disabled"
     "enabled" "overhead";
@@ -1090,6 +1099,229 @@ let e14 () =
      re-run cost.@."
 
 (* ------------------------------------------------------------------ *)
+(* E15: attribution overhead                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  header
+    "E15 Attribution overhead \xe2\x80\x94 portal validation (E3 workload): \
+     plain vs telemetry vs per-shape profile";
+  let sizes = if !quick then [ 100; 300 ] else [ 100; 300; 1000; 3000 ] in
+  let schema, _ = Workload.Foaf_gen.person_schema () in
+  (* Like E10: each instrumented arm reuses one registry across
+     repetitions so instrument creation never lands in the timing.
+     The profiled arm's labelled families just keep accumulating. *)
+  let enabled_reg = Telemetry.create () in
+  let profiled_reg = Telemetry.create () in
+  row "  %-7s %-8s %-12s %-12s %-12s %-9s %-9s %-10s@." "persons" "triples"
+    "disabled" "enabled" "profiled" "tele-tax" "prof-tax" "attributed";
+  List.iter
+    (fun n ->
+      let profile =
+        { Workload.Foaf_gen.n_persons = n;
+          invalid_fraction = 0.1;
+          knows_degree = 3;
+          seed = 7 }
+      in
+      let { Workload.Foaf_gen.graph; _ } =
+        Workload.Foaf_gen.generate profile
+      in
+      let run ?(profile = false) telemetry =
+        time_per_run ~budget:0.3 (fun () ->
+            let session =
+              Shex.Validate.session ?telemetry ~profile schema graph
+            in
+            Shex.Validate.validate_graph session)
+      in
+      let t_off = run None in
+      let t_on = run (Some enabled_reg) in
+      let t_prof = run ~profile:true (Some profiled_reg) in
+      (* The acceptance criterion: a fresh profiled session over the E3
+         workload must attribute \xe2\x89\xa595% of its derivative steps
+         to shapes.  The accounting is exact by construction (every
+         evaluation charges its self-cost exactly once), so anything
+         below that is an attribution bug, not noise. *)
+      let coverage =
+        let reg = Telemetry.create () in
+        let session =
+          Shex.Validate.session ~telemetry:reg ~profile:true schema graph
+        in
+        ignore (Shex.Validate.validate_graph session);
+        Shex.Profile.step_coverage
+          (Shex.Profile.of_snapshot (Shex.Validate.metrics session))
+      in
+      if coverage < 0.95 then
+        failwith
+          (Printf.sprintf
+             "E15: profile attributes only %.1f%% of deriv_steps at %d \
+              persons (acceptance bar: 95%%)"
+             (100. *. coverage) n);
+      let tax t = 100.0 *. (t -. t_off) /. t_off in
+      observe (fun () ->
+          let session =
+            Shex.Validate.session ~telemetry:(tele ()) ~profile:true schema
+              graph
+          in
+          ignore (Shex.Validate.validate_graph session);
+          Shex.Validate.metrics session);
+      jrow
+        [ ("persons", jint n); ("triples", jint (Rdf.Graph.cardinal graph));
+          ("disabled_ms", jflt (ms t_off)); ("enabled_ms", jflt (ms t_on));
+          ("profiled_ms", jflt (ms t_prof));
+          ("enabled_overhead_pct", jflt (tax t_on));
+          ("profile_overhead_pct", jflt (tax t_prof));
+          ("steps_attributed_pct", jflt (100. *. coverage)) ];
+      row "  %-7d %-8d %9.2f ms %9.2f ms %9.2f ms %+7.1f%% %+7.1f%% %8.1f%%@."
+        n
+        (Rdf.Graph.cardinal graph)
+        (ms t_off) (ms t_on) (ms t_prof) (tax t_on) (tax t_prof)
+        (100. *. coverage))
+    sizes;
+  row
+    "@.  Expectation: with [?profile] off the attribution points cost \
+     the same single branch@.  as every other disabled instrument, so \
+     the \"disabled\" column stays inside E10's <5%%@.  bound.  Profiled \
+     runs additionally pay a hashtable probe and counter delta per \
+     check@.  \xe2\x80\x94 a few percent on portal workloads, attributing \
+     \xe2\x89\xa595%% of all derivative steps.@."
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (--baseline)                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* CI perf ratchet: compare this run's recorded rows against a
+   committed baseline document (the harness's own --json output,
+   optionally annotated with tolerances).  Only timing cells — keys
+   ending in [_us] or [_ms], normalised to microseconds — are
+   compared; counts and verdicts are covered by the tests.  A current
+   value is a regression when it exceeds [baseline * tolerance +
+   slack]: the multiplicative band absorbs machine-to-machine speed
+   differences once the tolerance is set generously, and the absolute
+   slack keeps micro-rows (a few microseconds, dominated by timer
+   noise) from tripping the ratchet.
+
+   Baseline documents may carry:
+     "tolerance": N             document-wide ratio band (default 1.5)
+     "tolerances": {"E3": N}    per-experiment override
+   Missing experiments or rows are a hard failure with a regenerate
+   hint — a silently shrinking baseline would ratchet nothing. *)
+
+let baseline_slack_us = 500.
+
+let timing_us key v =
+  let ends_with suffix s =
+    let n = String.length s and m = String.length suffix in
+    n >= m && String.sub s (n - m) m = suffix
+  in
+  match v with
+  | Json.Number x when ends_with "_us" key -> Some x
+  | Json.Number x when ends_with "_ms" key -> Some (x *. 1000.)
+  | _ -> None
+
+let compare_baseline file =
+  let doc =
+    match Json.of_string (In_channel.with_open_bin file In_channel.input_all) with
+    | Ok doc -> doc
+    | Error msg ->
+        Printf.eprintf "--baseline %s: %s\n" file msg;
+        exit 2
+  in
+  let default_tol =
+    match Json.find "tolerance" doc with
+    | Some (Json.Number t) -> t
+    | _ -> 1.5
+  in
+  let tol_for id =
+    match Option.bind (Json.find "tolerances" doc) (Json.find id) with
+    | Some (Json.Number t) -> t
+    | _ -> default_tol
+  in
+  let base_experiments =
+    match Json.find_list "experiments" doc with
+    | Some exps -> exps
+    | None ->
+        Printf.eprintf
+          "--baseline %s: no \"experiments\" member (expected this \
+           harness's --json output)\n"
+        file;
+        exit 2
+  in
+  let problems = ref [] in
+  let compared = ref 0 in
+  let problem fmt =
+    Printf.ksprintf (fun s -> problems := s :: !problems) fmt
+  in
+  let regenerate =
+    "regenerate with: dune exec bench/main.exe -- <IDS> --smoke --json \
+     <FILE>"
+  in
+  List.iter
+    (fun cur ->
+      let id =
+        match Json.find_string "id" cur with Some id -> id | None -> "?"
+      in
+      match
+        List.find_opt (fun b -> Json.find_string "id" b = Some id)
+          base_experiments
+      with
+      | None -> Printf.printf "baseline: %s not in %s, skipped@\n" id file
+      | Some base ->
+          let cur_rows = Option.value ~default:[] (Json.find_list "rows" cur) in
+          let base_rows =
+            Option.value ~default:[] (Json.find_list "rows" base)
+          in
+          if List.length cur_rows <> List.length base_rows then
+            problem "%s: %d rows vs %d in baseline (%s)" id
+              (List.length cur_rows) (List.length base_rows) regenerate
+          else begin
+            let tol = tol_for id in
+            List.iteri
+              (fun i (base_row, cur_row) ->
+                match base_row with
+                | Json.Object cells ->
+                    List.iter
+                      (fun (key, bv) ->
+                        match timing_us key bv with
+                        | None -> ()
+                        | Some base_us -> (
+                            match
+                              Option.bind (Json.find key cur_row)
+                                (fun v -> timing_us key v)
+                            with
+                            | None ->
+                                problem "%s row %d: %S missing from this \
+                                         run (%s)"
+                                  id i key regenerate
+                            | Some cur_us ->
+                                incr compared;
+                                if
+                                  cur_us
+                                  > (base_us *. tol) +. baseline_slack_us
+                                then
+                                  problem
+                                    "%s row %d %s: %.1f us vs baseline \
+                                     %.1f us (%.2fx > %.2fx band)"
+                                    id i key cur_us base_us
+                                    (cur_us /. Float.max 1e-9 base_us)
+                                    tol))
+                      cells
+                | _ -> ())
+              (List.combine base_rows cur_rows)
+          end)
+    (List.rev !experiments_json);
+  match List.rev !problems with
+  | [] ->
+      Format.printf
+        "@.Baseline check: %d timing cells within tolerance of %s.@."
+        !compared file
+  | ps ->
+      Format.printf "@.Baseline check against %s FAILED:@." file;
+      List.iter (fun p -> Format.printf "  REGRESSION %s@." p) ps;
+      Format.printf "%d timing cells compared, %d regressed.@." !compared
+        (List.length ps);
+      exit 3
+
+(* ------------------------------------------------------------------ *)
 (* Chrome trace export (--trace-chrome)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1193,7 +1425,7 @@ let micro () =
 let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14) ]
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1219,6 +1451,13 @@ let () =
     | "--json" :: _ ->
         prerr_endline "--json requires a FILE argument";
         exit 2
+    | "--baseline" :: file :: rest
+      when String.length file = 0 || file.[0] <> '-' ->
+        baseline_in := Some file;
+        parse rest
+    | "--baseline" :: _ ->
+        prerr_endline "--baseline requires a FILE argument";
+        exit 2
     | "--trace-chrome" :: file :: rest
       when String.length file = 0 || file.[0] <> '-' ->
         trace_chrome := Some file;
@@ -1237,8 +1476,8 @@ let () =
     | a :: _ when String.length a > 1 && a.[0] = '-' ->
         Printf.eprintf
           "unknown option: %s\n\
-           usage: main.exe [E1 .. E14] [--quick] [--smoke] [--json FILE] \
-           [--trace-chrome FILE] [--domains N] [--micro]\n"
+           usage: main.exe [E1 .. E15] [--quick] [--smoke] [--json FILE] \
+           [--baseline FILE] [--trace-chrome FILE] [--domains N] [--micro]\n"
           a;
         exit 2
     | a :: rest -> a :: parse rest
@@ -1282,6 +1521,10 @@ let () =
            results file for CI's JSON assertions to choke on. *)
         Json.write_file_atomic file (Json.to_string doc ^ "\n");
         Format.printf "@.JSON results written to %s@." file);
+    (* After the JSON write: [--json cur.json --baseline cur.json] is a
+       deterministic self-comparison (every ratio exactly 1), the CI
+       sanity leg for the ratchet machinery itself. *)
+    Option.iter compare_baseline !baseline_in;
     Format.printf
       "@.All experiments complete.  See EXPERIMENTS.md for the \
        paper-vs-measured discussion.@."

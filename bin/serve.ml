@@ -7,7 +7,9 @@
      {"cmd":"insert","triples":TURTLE}            apply triple inserts
      {"cmd":"delete","triples":TURTLE}            apply triple deletes
      {"cmd":"query","node":IRI,"shape":LABEL}     one verdict
-     {"cmd":"metrics"}                            telemetry snapshot
+     {"cmd":"metrics"}                            telemetry snapshot + uptime
+     {"cmd":"slowlog"[,"threshold_ms":N][,"clear":true]}
+                                                  slow-validation ring buffer
      {"cmd":"shutdown"}                           exit 0
 
    Edits go through an incremental session (Shex_incremental.Session):
@@ -25,9 +27,11 @@ type state = {
   engine : Shex.Validate.engine;
   domains : int;
   tele : Telemetry.t;
+  started : float;  (* Unix.gettimeofday at daemon startup *)
   requests : Telemetry.Counter.t;
   errors : Telemetry.Counter.t;
   request_span : Telemetry.Span.t;
+  mutable slow_ms : float option;
   mutable session : Shex_incremental.Session.t option;
 }
 
@@ -73,10 +77,16 @@ let require_session st =
   | None -> bad "no schema loaded (send {\"cmd\":\"load\",...} first)"
 
 let make_session st schema graph =
-  st.session <-
-    Some
-      (Shex_incremental.Session.create ~engine:st.engine ~telemetry:st.tele
-         ~domains:st.domains schema graph)
+  let session =
+    Shex_incremental.Session.create ~engine:st.engine ~telemetry:st.tele
+      ~domains:st.domains schema graph
+  in
+  (* The slow-validation threshold survives reloads: a fresh inner
+     Validate session starts without a slowlog, so re-arm it. *)
+  Shex.Validate.set_slow_ms
+    (Shex_incremental.Session.validation session)
+    st.slow_ms;
+  st.session <- Some session
 
 let require_string cmd key ~what =
   match Json.find_string key cmd with
@@ -145,17 +155,53 @@ let handle st cmd =
             Json.Bool (Shex_incremental.Session.check_bool session node shape)
           ) ]
   | Some "metrics" ->
+      (match st.session with
+      | Some session ->
+          Shex.Validate.sample_resources
+            (Shex_incremental.Session.validation session)
+      | None -> ());
       let snap =
         match st.session with
         | Some session -> Shex_incremental.Session.metrics session
         | None -> Telemetry.snapshot st.tele
       in
+      let gc = Gc.quick_stat () in
       Json.Object
-        [ ("ok", Json.Bool true); ("metrics", Telemetry.to_json snap) ]
+        [ ("ok", Json.Bool true);
+          ( "uptime",
+            Json.Object
+              [ ("seconds",
+                 Json.Number (Unix.gettimeofday () -. st.started));
+                ("requests", Json.int (Telemetry.Counter.value st.requests))
+              ] );
+          ( "resources",
+            Json.Object
+              [ ("heap_words", Json.int gc.Gc.heap_words);
+                ("minor_collections", Json.int gc.Gc.minor_collections);
+                ("major_collections", Json.int gc.Gc.major_collections) ] );
+          ("metrics", Telemetry.to_json snap) ]
+  | Some "slowlog" ->
+      let session = require_session st in
+      let vs = Shex_incremental.Session.validation session in
+      (match Json.find "threshold_ms" cmd with
+      | Some (Json.Number ms) ->
+          st.slow_ms <- Some ms;
+          Shex.Validate.set_slow_ms vs (Some ms)
+      | Some _ -> bad "\"threshold_ms\" must be a number (milliseconds)"
+      | None -> ());
+      (match Shex.Validate.slowlog vs with
+      | None -> bad "slow-validation capture is off (start with --slow-ms \
+                     or send {\"cmd\":\"slowlog\",\"threshold_ms\":N})"
+      | Some slog ->
+          let dump = Shex.Slowlog.to_json slog in
+          (match Json.find "clear" cmd with
+          | Some (Json.Bool true) -> Shex.Slowlog.clear slog
+          | _ -> ());
+          Json.Object [ ("ok", Json.Bool true); ("slowlog", dump) ])
   | Some "shutdown" -> raise (Quit (Json.Object [ ("ok", Json.Bool true) ]))
   | Some other ->
       bad "unknown command %S (known: load, insert, delete, query, \
-           metrics, shutdown)"
+           metrics, slowlog, shutdown)"
         other
 
 let answer_line json = Printf.printf "%s\n%!" (Json.to_string ~minify:true json)
@@ -187,14 +233,14 @@ let rec loop st =
           exit 0);
       loop st
 
-let run ?schema_path ?data_path ~engine ~domains () =
+let run ?schema_path ?data_path ?slow_ms ~engine ~domains () =
   let tele = Telemetry.create () in
   let st =
-    { engine; domains; tele;
+    { engine; domains; tele; started = Unix.gettimeofday ();
       requests = Telemetry.counter tele "serve_requests";
       errors = Telemetry.counter tele "serve_errors";
       request_span = Telemetry.span tele "serve_request";
-      session = None }
+      slow_ms; session = None }
   in
   (* Startup --schema/--data failures are fatal (exit 2 through the
      CLI's usual error path), unlike in-protocol load errors. *)

@@ -106,6 +106,27 @@ let print_explain session associations =
   Format.printf "%a@." (fun ppf () ->
       Shex_explain.Walk.pp_report ppf ~session associations) ()
 
+(* --profile: decode the attribution families out of the session
+   snapshot.  The table goes to stderr (like --engine-stats) so it
+   composes with every stdout format; under --json the same data is
+   embedded as a "profile" member of the report document. *)
+let session_profile session =
+  if Shex.Validate.profiling session then
+    Some (Shex.Profile.of_snapshot (Shex.Validate.metrics session))
+  else None
+
+let print_profile session =
+  match session_profile session with
+  | Some p -> Format.eprintf "%a%!" (Shex.Profile.pp ?top:None) p
+  | None -> ()
+
+(* --slow-ms: dump whatever the ring retained, to stderr, after the
+   run — the one-shot form of the daemon's slowlog command. *)
+let print_slowlog session =
+  match Shex.Validate.slowlog session with
+  | Some slog -> Format.eprintf "%a%!" Shex.Slowlog.pp slog
+  | None -> ()
+
 let emit_report session report ~json ~result_map ~quiet ~metrics =
   if json then begin
     (* --json --metrics json: one document, snapshot under "metrics". *)
@@ -115,7 +136,9 @@ let emit_report session report ~json ~result_map ~quiet ~metrics =
       | Some Mtext | None -> None
     in
     print_endline
-      (Json.to_string (Shex.Report.to_json ?metrics:embedded report));
+      (Json.to_string
+         (Shex.Report.to_json ?metrics:embedded
+            ?profile:(session_profile session) report));
     match metrics with
     | Some Mtext -> print_metrics session metrics
     | Some Mjson | None -> ()
@@ -285,9 +308,9 @@ let oracle_cmd spec =
       end
 
 let run_validate schema_path data_path node_opt shape_opt shape_map_opt
-    engine domains engine_stats metrics trace_json trace_chrome trace_folded
-    explain trace show_sparql export_shexj json result_map quiet infer_nodes
-    infer_label =
+    engine domains profile slow_ms engine_stats metrics trace_json
+    trace_chrome trace_folded explain trace show_sparql export_shexj json
+    result_map quiet infer_nodes infer_label =
   (match infer_nodes with
   | Some nodes_text -> infer_cmd data_path infer_label nodes_text
   | None -> ());
@@ -317,9 +340,13 @@ let run_validate schema_path data_path node_opt shape_opt shape_map_opt
   let data_path = require_data data_path in
   let graph = load_graph data_path in
   let tele =
+    (* --slow-ms rides along: the wall clock works without telemetry,
+       but an enabled registry gives the slowlog entries their
+       work-counter deltas. *)
     if
       engine_stats || metrics <> None || trace_json <> None
-      || trace_chrome <> None || trace_folded <> None
+      || trace_chrome <> None || trace_folded <> None || profile
+      || slow_ms <> None
     then Telemetry.create ()
     else Telemetry.disabled
   in
@@ -378,9 +405,13 @@ let run_validate schema_path data_path node_opt shape_opt shape_map_opt
   | fs -> Telemetry.set_sink tele (Some (fun ev -> List.iter (fun f -> f ev) fs)));
   let session =
     Shex.Validate.session ~engine:(engine_of_choice engine) ~telemetry:tele
-      ~domains schema graph
+      ~domains ~profile ?slow_ms schema graph
   in
-  let maybe_stats () = if engine_stats then print_engine_stats session in
+  let maybe_stats () =
+    if engine_stats then print_engine_stats session;
+    print_profile session;
+    print_slowlog session
+  in
   Fun.protect ~finally:finish_traces @@ fun () ->
   match (shape_map_opt, node_opt, shape_opt) with
   | Some shape_map_text, None, None -> (
@@ -423,7 +454,9 @@ let run_validate schema_path data_path node_opt shape_opt shape_map_opt
           | Some Mtext | None -> None
         in
         print_endline
-          (Json.to_string (Shex.Report.to_json ?metrics:embedded report));
+          (Json.to_string
+             (Shex.Report.to_json ?metrics:embedded
+                ?profile:(session_profile session) report));
         exit 0
       end;
       let typing = report.Shex.Report.typing in
@@ -445,19 +478,19 @@ let run_validate schema_path data_path node_opt shape_opt shape_map_opt
    trouble) must surface as one-line diagnostics with exit code 2,
    not as raw backtraces through cmdliner's catch-all. *)
 let validate_cmd oracle serve schema_path data_path node_opt shape_opt
-    shape_map_opt engine domains engine_stats metrics trace_json
-    trace_chrome trace_folded explain trace show_sparql export_shexj json
-    result_map quiet infer_nodes infer_label =
+    shape_map_opt engine domains profile slow_ms engine_stats metrics
+    trace_json trace_chrome trace_folded explain trace show_sparql
+    export_shexj json result_map quiet infer_nodes infer_label =
   try
     (match oracle with Some spec -> oracle_cmd spec | None -> ());
     if serve then
       Serve.run ?schema_path ?data_path
-        ~engine:(engine_of_choice engine) ~domains ()
+        ~engine:(engine_of_choice engine) ~domains ?slow_ms ()
     else
       run_validate schema_path data_path node_opt shape_opt shape_map_opt
-        engine domains engine_stats metrics trace_json trace_chrome
-        trace_folded explain trace show_sparql export_shexj json result_map
-        quiet infer_nodes infer_label
+        engine domains profile slow_ms engine_stats metrics trace_json
+        trace_chrome trace_folded explain trace show_sparql export_shexj
+        json result_map quiet infer_nodes infer_label
   with
   | Failure msg | Sys_error msg | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -543,6 +576,34 @@ let domains_arg =
            totals are identical to sequential mode; trace sinks \
            ($(b,--trace-json), $(b,--trace-chrome), $(b,--trace-folded)) \
            force the sequential path so event streams stay ordered.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable telemetry with per-shape cost attribution: every \
+           (node, shape) evaluation charges its self cost — derivative \
+           steps, backtracking branches, SORBE counter updates, \
+           compiled-DFA transitions, fixpoint flips and wall time — to \
+           its shape label (and wall time to its focus node).  After \
+           validating, print the hottest-shapes / hottest-focus-nodes \
+           tables and the attribution-coverage line on stderr; with \
+           $(b,--json) the same data is embedded as a $(b,profile) \
+           member of the report document.")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Capture slow validations: every check taking at least $(docv) \
+           wall-clock milliseconds is retained — verdict, failure \
+           explanation and per-check work-counter deltas — in a bounded \
+           ring buffer, dumped on stderr after the run.  With \
+           $(b,--serve), sets the daemon's initial slowlog threshold \
+           (see the $(b,slowlog) command).")
 
 let engine_stats_arg =
   Arg.(
@@ -699,6 +760,7 @@ let cmd =
       const validate_cmd $ oracle_arg $ serve_arg $ schema_arg $ data_arg
       $ node_arg
       $ shape_arg $ shape_map_arg $ engine_arg $ domains_arg
+      $ profile_arg $ slow_ms_arg
       $ engine_stats_arg
       $ metrics_arg
       $ trace_json_arg $ trace_chrome_arg $ trace_folded_arg $ explain_arg

@@ -1,0 +1,191 @@
+(* Per-shape / per-node cost attribution, read back out of a telemetry
+   snapshot.  {!Validate} (under [?profile]) feeds labelled families —
+   one cell per shape label or focus node — with the *self* work of
+   each (node, shape) evaluation: engine counter deltas and wall time,
+   with nested evaluations (lower-stratum references settled inline)
+   charged to their own shape, not the outer one.  Summing a family
+   therefore reproduces the session-global counter, which is what
+   makes the coverage line at the bottom of the table an invariant
+   rather than an estimate. *)
+
+type shape_row = {
+  shape : string;
+  checks : int;
+  seconds : float;
+  deriv_steps : int;
+  backtrack_branches : int;
+  sorbe_updates : int;
+  compiled_steps : int;
+  flips : int;
+}
+
+type node_row = { node : string; checks : int; seconds : float }
+
+type t = {
+  shapes : shape_row list;  (* sorted hottest (wall time) first *)
+  nodes : node_row list;    (* likewise *)
+  attributed_steps : int;   (* sum of deriv_steps over shapes *)
+  total_steps : int;        (* session-global deriv_steps counter *)
+  attributed_seconds : float;
+}
+
+(* Family names are the contract between Validate's recording side and
+   this reader; keep them in one place. *)
+let checks_family = "checks_by_shape"
+let seconds_family = "check_seconds_by_shape"
+let deriv_family = "deriv_steps_by_shape"
+let backtrack_family = "backtrack_branches_by_shape"
+let sorbe_family = "sorbe_counter_updates_by_shape"
+let compiled_family = "compiled_steps_by_shape"
+let flips_family = "fixpoint_flips_by_shape"
+let node_seconds_family = "check_seconds_by_node"
+
+let of_snapshot snap =
+  let counter name = Telemetry.labelled_counter_values snap name in
+  let rows : (string, shape_row) Hashtbl.t = Hashtbl.create 16 in
+  let touch shape =
+    match Hashtbl.find_opt rows shape with
+    | Some r -> r
+    | None ->
+        let r =
+          { shape; checks = 0; seconds = 0.; deriv_steps = 0;
+            backtrack_branches = 0; sorbe_updates = 0; compiled_steps = 0;
+            flips = 0 }
+        in
+        Hashtbl.replace rows shape r;
+        r
+  in
+  let fold_counter name f =
+    List.iter
+      (fun (shape, v) -> Hashtbl.replace rows shape (f (touch shape) v))
+      (counter name)
+  in
+  fold_counter checks_family (fun r v -> { r with checks = v });
+  fold_counter deriv_family (fun r v -> { r with deriv_steps = v });
+  fold_counter backtrack_family (fun r v -> { r with backtrack_branches = v });
+  fold_counter sorbe_family (fun r v -> { r with sorbe_updates = v });
+  fold_counter compiled_family (fun r v -> { r with compiled_steps = v });
+  fold_counter flips_family (fun r v -> { r with flips = v });
+  List.iter
+    (fun (shape, (_count, total)) ->
+      Hashtbl.replace rows shape { (touch shape) with seconds = total })
+    (Telemetry.labelled_span_values snap seconds_family);
+  let by_heat (a : shape_row) (b : shape_row) =
+    let c = compare b.seconds a.seconds in
+    if c <> 0 then c
+    else
+      let c = compare b.deriv_steps a.deriv_steps in
+      if c <> 0 then c else String.compare a.shape b.shape
+  in
+  let shapes =
+    List.sort by_heat (Hashtbl.fold (fun _ r acc -> r :: acc) rows [])
+  in
+  let nodes =
+    List.sort
+      (fun a b ->
+        let c = compare b.seconds a.seconds in
+        if c <> 0 then c else String.compare a.node b.node)
+      (List.map
+         (fun (node, (count, total)) ->
+           { node; checks = count; seconds = total })
+         (Telemetry.labelled_span_values snap node_seconds_family))
+  in
+  {
+    shapes;
+    nodes;
+    attributed_steps =
+      List.fold_left (fun acc r -> acc + r.deriv_steps) 0 shapes;
+    total_steps =
+      Option.value ~default:0 (Telemetry.find_counter snap "deriv_steps");
+    attributed_seconds =
+      List.fold_left (fun acc (r : shape_row) -> acc +. r.seconds) 0. shapes;
+  }
+
+let is_empty t = t.shapes = [] && t.nodes = []
+
+(* 1.0 when no derivative work happened at all: nothing to attribute
+   is full coverage, not zero. *)
+let step_coverage t =
+  if t.total_steps = 0 then 1.0
+  else float_of_int t.attributed_steps /. float_of_int t.total_steps
+
+let default_top = 10
+
+let truncate_label s =
+  if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
+
+let pp ?(top = default_top) ppf t =
+  let take n xs =
+    let rec go n = function
+      | x :: tl when n > 0 -> x :: go (n - 1) tl
+      | _ -> []
+    in
+    go n xs
+  in
+  Format.fprintf ppf "profile: hottest shapes (top %d of %d, by wall time)@."
+    (min top (List.length t.shapes))
+    (List.length t.shapes);
+  Format.fprintf ppf "  %-48s %8s %10s %10s %10s %8s %8s %6s@." "shape"
+    "checks" "wall_ms" "deriv" "backtrck" "sorbe" "dfa" "flips";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-48s %8d %10.3f %10d %10d %8d %8d %6d@."
+        (truncate_label r.shape) r.checks
+        (r.seconds *. 1000.)
+        r.deriv_steps r.backtrack_branches r.sorbe_updates r.compiled_steps
+        r.flips)
+    (take top t.shapes);
+  Format.fprintf ppf "profile: hottest focus nodes (top %d of %d)@."
+    (min top (List.length t.nodes))
+    (List.length t.nodes);
+  Format.fprintf ppf "  %-48s %8s %10s@." "node" "checks" "wall_ms";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-48s %8d %10.3f@." (truncate_label r.node)
+        r.checks
+        (r.seconds *. 1000.))
+    (take top t.nodes);
+  Format.fprintf ppf
+    "profile: attribution %.1f%% of %d deriv_steps, %.3f ms attributed@."
+    (100. *. step_coverage t)
+    t.total_steps
+    (t.attributed_seconds *. 1000.)
+
+let shape_row_json r =
+  Json.Object
+    [ ("shape", Json.String r.shape);
+      ("checks", Json.int r.checks);
+      ("wall_ms", Json.Number (r.seconds *. 1000.));
+      ("deriv_steps", Json.int r.deriv_steps);
+      ("backtrack_branches", Json.int r.backtrack_branches);
+      ("sorbe_counter_updates", Json.int r.sorbe_updates);
+      ("compiled_steps", Json.int r.compiled_steps);
+      ("fixpoint_flips", Json.int r.flips) ]
+
+let node_row_json r =
+  Json.Object
+    [ ("node", Json.String r.node);
+      ("checks", Json.int r.checks);
+      ("wall_ms", Json.Number (r.seconds *. 1000.)) ]
+
+let to_json ?top t =
+  let rows xs =
+    match top with
+    | None -> xs
+    | Some n ->
+        let rec take n = function
+          | x :: tl when n > 0 -> x :: take (n - 1) tl
+          | _ -> []
+        in
+        take n xs
+  in
+  Json.Object
+    [ ("shapes", Json.Array (List.map shape_row_json (rows t.shapes)));
+      ("nodes", Json.Array (List.map node_row_json (rows t.nodes)));
+      ( "totals",
+        Json.Object
+          [ ("deriv_steps", Json.int t.total_steps);
+            ("attributed_deriv_steps", Json.int t.attributed_steps);
+            ("step_coverage", Json.Number (step_coverage t));
+            ("attributed_wall_ms", Json.Number (t.attributed_seconds *. 1000.))
+          ] ) ]

@@ -74,7 +74,7 @@ let to_result_shape_map t =
            (Label.to_string e.label))
        t.entries)
 
-let to_json ?metrics t =
+let to_json ?metrics ?profile t =
   let entry_json e =
     Json.Object
       ([ ("node", Json.String (Rdf.Term.to_string e.node));
@@ -98,6 +98,10 @@ let to_json ?metrics t =
     @
     (* Appended last so existing consumers of the report keys are
        untouched when no snapshot is supplied. *)
-    match metrics with
+    (match metrics with
     | Some snap -> [ ("metrics", Telemetry.to_json snap) ]
+    | None -> [])
+    @
+    match profile with
+    | Some p -> [ ("profile", Profile.to_json p) ]
     | None -> [])

@@ -49,11 +49,13 @@ val to_result_shape_map : t -> string
 (** The ShEx result-shape-map convention: [node@<S>] for conformant
     entries, [node@!<S>] for nonconformant ones, comma-separated. *)
 
-val to_json : ?metrics:Telemetry.snapshot -> t -> Json.t
+val to_json : ?metrics:Telemetry.snapshot -> ?profile:Profile.t -> t -> Json.t
 (** [{ "entries": [ {"node": …, "shape": …, "status": "conformant",
     "reason": …, "explain": …}, … ], "conformant": n,
     "nonconformant": m }] — nonconformant entries carry both the
     rendered ["reason"] string and the structured ["explain"] member
     ({!Explain.to_json}).  With [?metrics] (the CLI's
     [--json --metrics=json] combination) a final ["metrics"] member
-    carries the session's {!Validate.metrics} snapshot. *)
+    carries the session's {!Validate.metrics} snapshot; with
+    [?profile] (the CLI's [--json --profile]) a ["profile"] member
+    carries the attribution tables ({!Profile.to_json}). *)

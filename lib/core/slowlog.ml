@@ -1,0 +1,105 @@
+(* The server-mode flight recorder: checks slower than a configurable
+   threshold are retained — verdict, explanation, and the work-counter
+   deltas the check cost — in a bounded ring buffer, so "why was that
+   request slow" is answerable after the fact without re-running it.
+   The ring overwrites oldest-first; [seen] keeps counting so a dump
+   says how much history was evicted. *)
+
+type entry = {
+  node : Rdf.Term.t;
+  label : Label.t;
+  seconds : float;
+  conformant : bool;
+  explain : Explain.t option;
+      (* the blame set of a slow non-conformant check; [None] for
+         conformant checks (there is nothing to blame) *)
+  work : (string * int) list;
+      (* counter deltas attributable to this check (deriv_steps,
+         backtrack_branches, …), non-zero entries only *)
+}
+
+type t = {
+  mutable threshold_ms : float;
+  ring : entry option array;
+  mutable next : int;  (* next write slot *)
+  mutable seen : int;  (* total recorded, including evicted *)
+}
+
+let default_capacity = 128
+
+let create ?(capacity = default_capacity) ~threshold_ms () =
+  { threshold_ms; ring = Array.make (max 1 capacity) None; next = 0; seen = 0 }
+
+let threshold_ms t = t.threshold_ms
+let set_threshold_ms t ms = t.threshold_ms <- ms
+let capacity t = Array.length t.ring
+let seen t = t.seen
+let length t = min t.seen (Array.length t.ring)
+
+let record t e =
+  t.ring.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.seen <- t.seen + 1
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.seen <- 0
+
+(* Oldest first: the ring is chronological starting at [next] once it
+   has wrapped, at 0 before. *)
+let entries t =
+  let n = Array.length t.ring in
+  let start = if t.seen >= n then t.next else 0 in
+  let out = ref [] in
+  for i = length t - 1 downto 0 do
+    match t.ring.((start + i) mod n) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let entry_to_json e =
+  Json.Object
+    ([ ("node", Json.String (Rdf.Term.to_string e.node));
+       ("shape", Json.String (Label.to_string e.label));
+       ("ms", Json.Number (e.seconds *. 1000.));
+       ("conformant", Json.Bool e.conformant) ]
+    @ (match e.explain with
+      | Some ex -> [ ("reason", Json.String (Explain.to_string ex)) ]
+      | None -> [])
+    @
+    match e.work with
+    | [] -> []
+    | work ->
+        [ ("work", Json.Object (List.map (fun (k, v) -> (k, Json.int v)) work))
+        ])
+
+let to_json t =
+  Json.Object
+    [ ("threshold_ms", Json.Number t.threshold_ms);
+      ("capacity", Json.int (capacity t));
+      ("seen", Json.int t.seen);
+      ("entries", Json.Array (List.map entry_to_json (entries t))) ]
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%8.3f ms  %s@%s  %s" (e.seconds *. 1000.)
+    (Rdf.Term.to_string e.node)
+    (Label.to_string e.label)
+    (if e.conformant then "conformant" else "non-conformant");
+  List.iter
+    (fun (k, v) -> if v > 0 then Format.fprintf ppf " %s=%d" k v)
+    e.work;
+  match e.explain with
+  | Some ex -> Format.fprintf ppf "@.             %s" (Explain.to_string ex)
+  | None -> ()
+
+let pp ppf t =
+  Format.fprintf ppf "slowlog: %d slow check%s (threshold %g ms%s)@."
+    (length t)
+    (if length t = 1 then "" else "s")
+    t.threshold_ms
+    (if t.seen > length t then
+       Format.sprintf ", %d evicted" (t.seen - length t)
+     else "");
+  List.iter (fun e -> Format.fprintf ppf "  %a@." pp_entry e) (entries t)

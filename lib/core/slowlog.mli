@@ -1,0 +1,60 @@
+(** Slow-validation capture: a bounded ring buffer of checks that
+    exceeded a wall-clock threshold — the long-running server's flight
+    recorder.  {!Validate} records into it when a session is created
+    with [?slow_ms]; the CLI ([--slow-ms]) and the serve [slowlog]
+    command dump it on demand.
+
+    Each retained {!entry} carries the verdict, the blame set of a
+    failing check ({!Explain.t}, rendered lazily at dump time), and
+    the per-check work-counter deltas (derivative steps, backtracking
+    branches, …) — the same attribution the profile reports per shape,
+    here pinned to one slow (node, shape) evaluation. *)
+
+type entry = {
+  node : Rdf.Term.t;
+  label : Label.t;
+  seconds : float;  (** wall-clock duration of the check *)
+  conformant : bool;
+  explain : Explain.t option;
+      (** blame set when non-conformant; [None] when conformant *)
+  work : (string * int) list;
+      (** non-zero counter deltas attributable to this check *)
+}
+
+type t
+
+val default_capacity : int
+(** 128 entries. *)
+
+val create : ?capacity:int -> threshold_ms:float -> unit -> t
+
+val threshold_ms : t -> float
+val set_threshold_ms : t -> float -> unit
+(** Runtime-adjustable (the serve [slowlog] command sets it without
+    recreating the session). *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Entries currently retained. *)
+
+val seen : t -> int
+(** Total entries ever recorded, including those the ring evicted. *)
+
+val record : t -> entry -> unit
+(** Append, evicting the oldest entry when full. *)
+
+val clear : t -> unit
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val entry_to_json : entry -> Json.t
+(** [{"node", "shape", "ms", "conformant", "reason"?, "work"?}]. *)
+
+val to_json : t -> Json.t
+(** [{"threshold_ms", "capacity", "seen", "entries": [...]}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump: one line per entry (duration, pair, verdict,
+    work deltas) plus the failure reason on a continuation line. *)

@@ -66,6 +66,117 @@ type dep_record = {
       (* node → labels with a memoised verdict on that node *)
 }
 
+(* Per-shape attribution state (the [?profile] flag).  One labelled
+   cell bundle per shape label, cached by {!Label.t} so the hot path
+   resolves a label's cells once; plus the "charged so far" totals the
+   self-cost computation needs: a nested evaluation (a lower-stratum
+   reference settled inline) charges its own shape, and the outer
+   evaluation subtracts what was charged during its window, so every
+   unit of engine work is attributed to exactly one shape and the
+   family sums reproduce the session-global counters. *)
+type prof_cells = {
+  c_checks : Telemetry.Counter.t;
+  c_seconds : Telemetry.Span.t;
+  c_deriv : Telemetry.Counter.t;
+  c_back : Telemetry.Counter.t;
+  c_sorbe : Telemetry.Counter.t;
+  c_compiled : Telemetry.Counter.t;
+}
+
+type prof = {
+  (* the global counters the deltas are read from *)
+  p_deriv_total : Telemetry.Counter.t;
+  p_back_total : Telemetry.Counter.t;
+  p_sorbe_total : Telemetry.Counter.t;
+  (* labelled families, keyed by shape (one by focus node) *)
+  p_checks : Telemetry.Counter.t Telemetry.family;
+  p_seconds : Telemetry.Span.t Telemetry.family;
+  p_deriv : Telemetry.Counter.t Telemetry.family;
+  p_back : Telemetry.Counter.t Telemetry.family;
+  p_sorbe : Telemetry.Counter.t Telemetry.family;
+  p_compiled : Telemetry.Counter.t Telemetry.family;
+  p_flips : Telemetry.Counter.t Telemetry.family;
+  p_node_seconds : Telemetry.Span.t Telemetry.family;
+  p_cells : (Label.t, prof_cells) Hashtbl.t;
+  (* how much of each global counter is already charged to some shape *)
+  mutable charged_deriv : int;
+  mutable charged_back : int;
+  mutable charged_sorbe : int;
+  mutable charged_compiled : int;
+  mutable charged_seconds : float;
+  (* runtime resource gauges, sampled at span boundaries *)
+  g_minor_words : Telemetry.Counter.t;
+  g_major_words : Telemetry.Counter.t;
+  g_heap_words : Telemetry.Counter.t;
+  g_top_heap_words : Telemetry.Counter.t;
+  g_compactions : Telemetry.Counter.t;
+  g_minor_collections : Telemetry.Counter.t;
+  g_major_collections : Telemetry.Counter.t;
+  g_memo_entries : Telemetry.Counter.t;
+}
+
+let make_prof tele =
+  let shape_counter ?help name =
+    Telemetry.counter_family tele ?help ~key:"shape" name
+  in
+  {
+    p_deriv_total = Telemetry.counter tele "deriv_steps";
+    p_back_total = Telemetry.counter tele "backtrack_branches";
+    p_sorbe_total = Telemetry.counter tele "sorbe_counter_updates";
+    p_checks =
+      shape_counter
+        ~help:"Evaluations per shape (fixpoint re-runs included)"
+        Profile.checks_family;
+    p_seconds =
+      Telemetry.span_family tele ~key:"shape"
+        ~help:"Self wall time of evaluations of this shape"
+        Profile.seconds_family;
+    p_deriv =
+      shape_counter ~help:"Derivative steps attributed to this shape"
+        Profile.deriv_family;
+    p_back =
+      shape_counter ~help:"Backtracking branches attributed to this shape"
+        Profile.backtrack_family;
+    p_sorbe =
+      shape_counter ~help:"SORBE counter updates attributed to this shape"
+        Profile.sorbe_family;
+    p_compiled =
+      shape_counter ~help:"Compiled-DFA transitions attributed to this shape"
+        Profile.compiled_family;
+    p_flips =
+      shape_counter ~help:"Fixpoint hypotheses on this shape refuted"
+        Profile.flips_family;
+    p_node_seconds =
+      Telemetry.span_family tele ~key:"node"
+        ~help:"Self wall time of checks of this focus node"
+        Profile.node_seconds_family;
+    p_cells = Hashtbl.create 16;
+    charged_deriv = 0;
+    charged_back = 0;
+    charged_sorbe = 0;
+    charged_compiled = 0;
+    charged_seconds = 0.;
+    g_minor_words =
+      Telemetry.gauge tele ~help:"Gc.quick_stat minor_words" "gc_minor_words";
+    g_major_words =
+      Telemetry.gauge tele ~help:"Gc.quick_stat major_words" "gc_major_words";
+    g_heap_words =
+      Telemetry.gauge tele ~help:"Major heap size in words" "gc_heap_words";
+    g_top_heap_words =
+      Telemetry.gauge tele ~help:"Largest major heap size reached, in words"
+        "gc_top_heap_words";
+    g_compactions =
+      Telemetry.gauge tele ~help:"Heap compactions" "gc_compactions";
+    g_minor_collections =
+      Telemetry.gauge tele ~help:"Minor collections" "gc_minor_collections";
+    g_major_collections =
+      Telemetry.gauge tele ~help:"Major collection cycles"
+        "gc_major_collections";
+    g_memo_entries =
+      Telemetry.gauge tele ~help:"Memoised (node, shape) verdicts"
+        "memo_entries";
+  }
+
 type session = {
   engine : engine;
   schema : Schema.t;
@@ -87,10 +198,15 @@ type session = {
   fix_evals : Telemetry.Counter.t;    (* fixpoint_iterations *)
   fix_flips : Telemetry.Counter.t;    (* fixpoint_flips *)
   fix_demands : Telemetry.Counter.t;  (* fixpoint_demands *)
+  profile : prof option;              (* Some iff [?profile] *)
+  mutable slowlog : Slowlog.t option; (* Some iff a slow-ms threshold *)
+  slow_work : (string * Telemetry.Counter.t) list;
+      (* the counters a slowlog entry reports deltas of *)
 }
 
 let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
-    ?(domains = 1) ?(record_deps = false) schema graph =
+    ?(domains = 1) ?(record_deps = false) ?(profile = false) ?slow_ms schema
+    graph =
   let backend =
     match (engine, !compiled_backend_factory) with
     | (Compiled | Auto), Some make -> Some (make telemetry)
@@ -120,7 +236,16 @@ let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
     sorbe_instr = Sorbe.instruments telemetry;
     fix_evals = Telemetry.counter telemetry "fixpoint_iterations";
     fix_flips = Telemetry.counter telemetry "fixpoint_flips";
-    fix_demands = Telemetry.counter telemetry "fixpoint_demands" }
+    fix_demands = Telemetry.counter telemetry "fixpoint_demands";
+    profile = (if profile then Some (make_prof telemetry) else None);
+    slowlog =
+      Option.map (fun threshold_ms -> Slowlog.create ~threshold_ms ()) slow_ms;
+    slow_work =
+      List.map
+        (fun name -> (name, Telemetry.counter telemetry name))
+        [ "deriv_steps"; "backtrack_branches"; "backtrack_decompositions";
+          "sorbe_matches"; "sorbe_counter_updates"; "fixpoint_iterations";
+          "fixpoint_flips"; "fixpoint_demands" ] }
 
 let telemetry st = st.tele
 let schema st = st.schema
@@ -129,6 +254,15 @@ let engine st = st.engine
 let domains st = st.domains
 let record_deps st = Option.is_some st.dep_record
 let memo_size st = Hashtbl.length st.proven
+let profiling st = Option.is_some st.profile
+let slowlog st = st.slowlog
+
+let set_slow_ms st = function
+  | None -> st.slowlog <- None
+  | Some ms -> (
+      match st.slowlog with
+      | Some slog -> Slowlog.set_threshold_ms slog ms
+      | None -> st.slowlog <- Some (Slowlog.create ~threshold_ms:ms ()))
 
 let set_graph st graph = st.graph <- graph
 
@@ -196,18 +330,112 @@ let compile st l e =
 
 let compiled_stats st = Option.map (fun b -> b.cache_stats ()) st.backend
 
+(* Runtime resource gauges ("where is the memory"): GC words/heap/
+   compactions plus the verdict-memo size, sampled into the registry at
+   span boundaries — the end of each bulk call and every [metrics]
+   read.  Only profiled sessions sample, so unprofiled snapshots (and
+   the byte-identity guarantees of the parallel path, E12) are
+   untouched. *)
+let sample_resources st =
+  match st.profile with
+  | None -> ()
+  | Some p ->
+      let q = Gc.quick_stat () in
+      Telemetry.Counter.set p.g_minor_words (int_of_float q.Gc.minor_words);
+      Telemetry.Counter.set p.g_major_words (int_of_float q.Gc.major_words);
+      Telemetry.Counter.set p.g_heap_words q.Gc.heap_words;
+      Telemetry.Counter.set p.g_top_heap_words q.Gc.top_heap_words;
+      Telemetry.Counter.set p.g_compactions q.Gc.compactions;
+      Telemetry.Counter.set p.g_minor_collections q.Gc.minor_collections;
+      Telemetry.Counter.set p.g_major_collections q.Gc.major_collections;
+      Telemetry.Counter.set p.g_memo_entries (Hashtbl.length st.proven)
+
 (* The unified snapshot: engine counters live in the registry already;
    the automaton backend's pull-style cache counters are folded in at
-   read time so one exposition covers every engine. *)
+   read time so one exposition covers every engine.  The DFA state
+   gauges ([compiled_states] & co.) land here too, completing the
+   resource picture of a profiled session. *)
 let metrics st =
   (match st.backend with
   | Some b when Telemetry.enabled st.tele -> b.export_stats st.tele
   | Some _ | None -> ());
+  sample_resources st;
   Telemetry.snapshot st.tele
 
 type outcome = { ok : bool; typing : Typing.t; explain : Explain.t option }
 
 let reason o = Option.map Explain.to_string o.explain
+
+let prof_cells p l =
+  match Hashtbl.find_opt p.p_cells l with
+  | Some c -> c
+  | None ->
+      let s = Label.to_string l in
+      let c =
+        { c_checks = Telemetry.labelled p.p_checks s;
+          c_seconds = Telemetry.labelled p.p_seconds s;
+          c_deriv = Telemetry.labelled p.p_deriv s;
+          c_back = Telemetry.labelled p.p_back s;
+          c_sorbe = Telemetry.labelled p.p_sorbe s;
+          c_compiled = Telemetry.labelled p.p_compiled s }
+      in
+      Hashtbl.replace p.p_cells l c;
+      c
+
+(* DFA work is pull-style (the backend owns its counters); hits +
+   misses is one transition taken per consumed triple. *)
+let compiled_steps st =
+  match st.backend with
+  | Some b ->
+      let s = b.cache_stats () in
+      s.hits + s.misses
+  | None -> 0
+
+(* Wrap one matcher run with self-cost attribution: counter deltas and
+   wall time of the window, minus whatever nested evaluations (lower
+   strata settled inline through [check_ref]) charged to their own
+   shapes meanwhile.  Every unit of work is charged exactly once, so
+   summing a family reproduces the global counter — the ≥95 %
+   attribution-coverage invariant is structural, not statistical. *)
+let profiled_run st p n l run () =
+  let cells = prof_cells p l in
+  let d0 = Telemetry.Counter.value p.p_deriv_total
+  and b0 = Telemetry.Counter.value p.p_back_total
+  and s0 = Telemetry.Counter.value p.p_sorbe_total
+  and c0 = compiled_steps st
+  and cd0 = p.charged_deriv
+  and cb0 = p.charged_back
+  and cs0 = p.charged_sorbe
+  and cc0 = p.charged_compiled
+  and ct0 = p.charged_seconds in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect run ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      let self total before charged0 charged_now =
+        total - before - (charged_now - charged0)
+      in
+      let dd =
+        self (Telemetry.Counter.value p.p_deriv_total) d0 cd0 p.charged_deriv
+      and db =
+        self (Telemetry.Counter.value p.p_back_total) b0 cb0 p.charged_back
+      and ds =
+        self (Telemetry.Counter.value p.p_sorbe_total) s0 cs0 p.charged_sorbe
+      and dc = self (compiled_steps st) c0 cc0 p.charged_compiled in
+      let dts = dt -. (p.charged_seconds -. ct0) in
+      Telemetry.Counter.incr cells.c_checks;
+      Telemetry.Counter.add cells.c_deriv dd;
+      Telemetry.Counter.add cells.c_back db;
+      Telemetry.Counter.add cells.c_sorbe ds;
+      Telemetry.Counter.add cells.c_compiled dc;
+      Telemetry.Span.record cells.c_seconds dts;
+      Telemetry.Span.record
+        (Telemetry.labelled p.p_node_seconds (Rdf.Term.to_string n))
+        dts;
+      p.charged_deriv <- p.charged_deriv + dd;
+      p.charged_back <- p.charged_back + db;
+      p.charged_sorbe <- p.charged_sorbe + ds;
+      p.charged_compiled <- p.charged_compiled + dc;
+      p.charged_seconds <- p.charged_seconds +. (if dts < 0. then 0. else dts))
 
 (* One evaluation of a (node, label) pair under the current candidate
    valuation.  References to settled pairs read the memo table;
@@ -290,6 +518,11 @@ let rec evaluate st ~value ~demand ((n, l) : Pair.t) =
                     Deriv.matches ~check_ref ~instr:st.deriv_instr n st.graph
                       e ))
       in
+      let run =
+        match st.profile with
+        | Some p -> profiled_run st p n l run
+        | None -> run
+      in
       if tracing then
         Telemetry.emit st.tele
           (Telemetry.span_begin "check"
@@ -365,6 +598,11 @@ and solve st root =
           used;
         if not ok then begin
           Telemetry.Counter.incr st.fix_flips;
+          (match st.profile with
+          | Some prof ->
+              Telemetry.Counter.incr
+                (Telemetry.labelled prof.p_flips (Label.to_string (snd p)))
+          | None -> ());
           Hashtbl.replace value p false;
           let ds =
             Option.value
@@ -495,12 +733,57 @@ let failure_explain st n l =
       let trace = Deriv.matches_trace ~check_ref n st.graph e in
       Explain.of_trace ~check_ref ~node:n ~label:l trace
 
-let check st n l =
+let plain_check st n l =
   if verdict st (n, l) then
     { ok = true; typing = typing_of st (n, l); explain = None }
   else { ok = false; typing = Typing.empty; explain = failure_explain st n l }
 
-let check_bool st n l = verdict st (n, l)
+(* Slow-validation capture: time the whole check (first checks of a
+   pair include the fixpoint solve they trigger — the honest cost of
+   answering that question on a cold memo) and retain it when over
+   threshold, with the work-counter deltas of the window.  The deltas
+   need an enabled registry; the wall clock and explanations do not,
+   so [--slow-ms] works on otherwise un-instrumented sessions. *)
+let slow_values st =
+  List.map (fun (k, c) -> (k, Telemetry.Counter.value c)) st.slow_work
+
+let slow_delta st before =
+  let now = slow_values st in
+  List.filter_map
+    (fun (k, v0) ->
+      let v = List.assoc k now - v0 in
+      if v > 0 then Some (k, v) else None)
+    before
+
+let slow_capture st slog n l f ~conformant ~explain_of =
+  let before = slow_values st in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt *. 1000. >= Slowlog.threshold_ms slog then
+    Slowlog.record slog
+      { Slowlog.node = n; label = l; seconds = dt;
+        conformant = conformant result; explain = explain_of result;
+        work = slow_delta st before };
+  result
+
+let check st n l =
+  match st.slowlog with
+  | None -> plain_check st n l
+  | Some slog ->
+      slow_capture st slog n l
+        (fun () -> plain_check st n l)
+        ~conformant:(fun o -> o.ok)
+        ~explain_of:(fun o -> o.explain)
+
+let check_bool st n l =
+  match st.slowlog with
+  | None -> verdict st (n, l)
+  | Some slog ->
+      slow_capture st slog n l
+        (fun () -> verdict st (n, l))
+        ~conformant:Fun.id
+        ~explain_of:(fun ok -> if ok then None else failure_explain st n l)
 
 (* The parallel subsystem (lib/parallel) registers its bulk runner
    here, mirroring the compiled-backend hook above: core owns the
@@ -517,23 +800,34 @@ let set_bulk_checker f = bulk_checker := Some f
 let bulk_checker_installed () = Option.is_some !bulk_checker
 
 let check_all st associations =
-  match !bulk_checker with
-  | Some bulk
-    when st.domains > 1
-         && not (Telemetry.tracing st.tele)
-         && List.compare_length_with associations 2 >= 0 ->
-      bulk st associations
-  | _ -> List.map (fun (n, l) -> check st n l) associations
+  let outcomes =
+    match !bulk_checker with
+    | Some bulk
+      when st.domains > 1
+           && not (Telemetry.tracing st.tele)
+           && List.compare_length_with associations 2 >= 0 ->
+        bulk st associations
+    | _ -> List.map (fun (n, l) -> check st n l) associations
+  in
+  sample_resources st;
+  outcomes
 
 let validate_graph st =
   let nodes = Rdf.Graph.nodes st.graph in
   let labels = Schema.labels st.schema in
-  List.fold_left
-    (fun acc n ->
-      List.fold_left
-        (fun acc l -> if verdict st (n, l) then Typing.add n l acc else acc)
-        acc labels)
-    Typing.empty nodes
+  let typing =
+    List.fold_left
+      (fun acc n ->
+        List.fold_left
+          (fun acc l ->
+            (* [check_bool], not bare [verdict]: whole-graph runs feed
+               the slowlog too. *)
+            if check_bool st n l then Typing.add n l acc else acc)
+          acc labels)
+      Typing.empty nodes
+  in
+  sample_resources st;
+  typing
 
 let validate ?engine schema graph n l =
   check (session ?engine schema graph) n l

@@ -50,6 +50,8 @@ val session :
   ?telemetry:Telemetry.t ->
   ?domains:int ->
   ?record_deps:bool ->
+  ?profile:bool ->
+  ?slow_ms:float ->
   Schema.t ->
   Rdf.Graph.t ->
   session
@@ -92,7 +94,27 @@ val session :
     and [fixpoint_iterations]/[fixpoint_flips]/[fixpoint_demands] from
     the greatest-fixpoint solver.  Instruments are resolved once at
     session creation; with the default registry each instrumentation
-    point costs a single branch (experiment E10). *)
+    point costs a single branch (experiment E10).
+
+    [profile] (default [false]) turns on per-shape cost attribution:
+    every (node, shape) evaluation charges its {e self} cost — engine
+    counter deltas, wall time, fixpoint flips — to labelled telemetry
+    families keyed by shape label (plus wall time by focus node), and
+    runtime resource gauges ([gc_*], [memo_entries]) are sampled at
+    span boundaries.  Nested evaluations (lower-stratum references
+    settled inline) charge their own shape, so family sums reproduce
+    the session-global counters exactly.  Decode with
+    {!Profile.of_snapshot}; off, the evaluation path is unchanged
+    (one [None] match per evaluation — priced in E15).
+
+    [slow_ms] sets a slow-validation threshold: {!check},
+    {!check_bool} and {!validate_graph} time each call
+    ([Unix.gettimeofday], independent of telemetry) and checks at or
+    over the threshold are retained in the session's {!Slowlog.t} ring
+    — verdict, blame set, and the work-counter deltas of the window.
+    First checks of a pair include the fixpoint solve they trigger.
+    Bulk shards ([domains > 1] in {!check_all}) are not individually
+    timed. *)
 
 val telemetry : session -> Telemetry.t
 val schema : session -> Schema.t
@@ -110,6 +132,24 @@ val domains : session -> int
 
 val record_deps : session -> bool
 (** Whether the session retains fixpoint dependency edges. *)
+
+val profiling : session -> bool
+(** Whether the session attributes costs per shape ([?profile]). *)
+
+val slowlog : session -> Slowlog.t option
+(** The session's slow-check ring, when a threshold is (or was) set. *)
+
+val set_slow_ms : session -> float option -> unit
+(** Adjust the slow-validation threshold at runtime: [Some ms]
+    creates the ring on first use (capacity {!Slowlog.default_capacity})
+    or updates the threshold of the existing one, keeping its entries;
+    [None] discards the ring and stops capturing. *)
+
+val sample_resources : session -> unit
+(** Sample the runtime resource gauges ([Gc.quick_stat] words/heap/
+    collections, [memo_entries]) into the session registry now.  No-op
+    unless the session was created with [~profile:true].  Called
+    automatically at bulk-call boundaries and by {!metrics}. *)
 
 val memo_size : session -> int
 (** Number of memoised (node, shape) verdicts. *)

@@ -47,13 +47,16 @@ let check_bulk session associations =
     let graph = Shex.Validate.graph session in
     let parent_tele = Shex.Validate.telemetry session in
     let instrumented = Telemetry.enabled parent_tele in
+    let profile = Shex.Validate.profiling session in
     let tasks =
       List.map
         (fun run () ->
           let telemetry =
             if instrumented then Telemetry.create () else Telemetry.disabled
           in
-          let sub = Shex.Validate.session ~engine ~telemetry schema graph in
+          let sub =
+            Shex.Validate.session ~engine ~telemetry ~profile schema graph
+          in
           let outcomes =
             List.map
               (fun (node, label) -> Shex.Validate.check sub node label)

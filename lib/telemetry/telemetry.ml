@@ -71,6 +71,15 @@ module Span = struct
         f
     end
 
+  (* Manual accounting for callers that already hold a measured
+     duration (per-shape attribution records one wall reading into two
+     spans; timing twice would double the clock cost). *)
+  let record s dt =
+    if s.active then begin
+      s.total <- s.total +. (if dt < 0. then 0. else dt);
+      s.count <- s.count + 1
+    end
+
   let count s = s.count
   let total s = s.total
 end
@@ -85,11 +94,24 @@ let instant name fields = { name; phase = Instant; fields }
 let span_begin name fields = { name; phase = Span_begin; fields }
 let span_end name fields = { name; phase = Span_end; fields }
 
+(* A labelled family: one logical metric fanned out over a string
+   label (the Prometheus {key="label"} dimension).  The registry keeps
+   the per-label cells; the family handle hands them out get-or-create
+   so hot paths resolve a label once and then pay the same
+   single-branch cost as a plain instrument. *)
+type 'a cells = { lc_key : string; lc_tbl : (string, 'a) Hashtbl.t }
+
+type 'a family = { f_on : bool; f_cells : 'a cells; f_make : string -> 'a }
+
 type t = {
   on : bool;
   counters : (string, Counter.t) Hashtbl.t;
   histograms : (string, Histogram.t) Hashtbl.t;
   spans : (string, Span.t) Hashtbl.t;
+  lcounters : (string, Counter.t cells) Hashtbl.t;
+  lhistograms : (string, Histogram.t cells) Hashtbl.t;
+  lspans : (string, Span.t cells) Hashtbl.t;
+  help : (string, string) Hashtbl.t;
   mutable sink : (event -> unit) option;
   mutable residuals : bool;
 }
@@ -100,6 +122,10 @@ let make on =
     counters = Hashtbl.create 16;
     histograms = Hashtbl.create 8;
     spans = Hashtbl.create 8;
+    lcounters = Hashtbl.create 8;
+    lhistograms = Hashtbl.create 4;
+    lspans = Hashtbl.create 4;
+    help = Hashtbl.create 16;
     sink = None;
     residuals = false;
   }
@@ -108,10 +134,16 @@ let create () = make true
 let disabled = make false
 let enabled t = t.on
 
+let set_help t name = function
+  | Some h when t.on && not (Hashtbl.mem t.help name) ->
+      Hashtbl.replace t.help name h
+  | Some _ | None -> ()
+
 (* Get-or-create.  A disabled registry hands out inert instruments
    without registering them, so the shared [disabled] registry never
    accumulates state. *)
-let make_counter t kind name =
+let make_counter t kind ?help name =
+  set_help t name help;
   if not t.on then { Counter.name; kind; v = 0; active = false }
   else
     match Hashtbl.find_opt t.counters name with
@@ -121,44 +153,104 @@ let make_counter t kind name =
         Hashtbl.replace t.counters name c;
         c
 
-let counter t name = make_counter t Counter.Monotonic name
-let gauge t name = make_counter t Counter.Gauge name
+let counter t ?help name = make_counter t Counter.Monotonic ?help name
+let gauge t ?help name = make_counter t Counter.Gauge ?help name
 
-let histogram t name =
-  if not t.on then
-    { Histogram.name; counts = Array.make Histogram.n_buckets 0;
-      count = 0; sum = 0; max = 0; active = false }
+let fresh_histogram name active =
+  { Histogram.name; counts = Array.make Histogram.n_buckets 0;
+    count = 0; sum = 0; max = 0; active }
+
+let histogram t ?help name =
+  set_help t name help;
+  if not t.on then fresh_histogram name false
   else
     match Hashtbl.find_opt t.histograms name with
     | Some h -> h
     | None ->
-        let h =
-          { Histogram.name; counts = Array.make Histogram.n_buckets 0;
-            count = 0; sum = 0; max = 0; active = true }
-        in
+        let h = fresh_histogram name true in
         Hashtbl.replace t.histograms name h;
         h
 
-let span t name =
-  if not t.on then { Span.name; count = 0; total = 0.; active = false }
+let fresh_span name active = { Span.name; count = 0; total = 0.; active }
+
+let span t ?help name =
+  set_help t name help;
+  if not t.on then fresh_span name false
   else
     match Hashtbl.find_opt t.spans name with
     | Some s -> s
     | None ->
-        let s = { Span.name; count = 0; total = 0.; active = true } in
+        let s = fresh_span name true in
         Hashtbl.replace t.spans name s;
         s
 
 (* ------------------------------------------------------------------ *)
+(* Labelled families                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let family tbl t ~key name make =
+  if not t.on then
+    { f_on = false;
+      f_cells = { lc_key = key; lc_tbl = Hashtbl.create 1 };
+      f_make = make }
+  else
+    let cells =
+      match Hashtbl.find_opt tbl name with
+      | Some c -> c
+      | None ->
+          let c = { lc_key = key; lc_tbl = Hashtbl.create 16 } in
+          Hashtbl.replace tbl name c;
+          c
+    in
+    { f_on = true; f_cells = cells; f_make = make }
+
+let counter_family t ?help ~key name =
+  set_help t name help;
+  family t.lcounters t ~key name (fun _label ->
+      { Counter.name; kind = Counter.Monotonic; v = 0; active = t.on })
+
+let histogram_family t ?help ~key name =
+  set_help t name help;
+  family t.lhistograms t ~key name (fun _label -> fresh_histogram name t.on)
+
+let span_family t ?help ~key name =
+  set_help t name help;
+  family t.lspans t ~key name (fun _label -> fresh_span name t.on)
+
+(* Get-or-create a label's cell.  On a disabled family the fresh inert
+   cell is not cached, so the shared [disabled] registry stays empty
+   no matter how many labels flow past it. *)
+let labelled f label =
+  if not f.f_on then f.f_make label
+  else
+    match Hashtbl.find_opt f.f_cells.lc_tbl label with
+    | Some i -> i
+    | None ->
+        let i = f.f_make label in
+        Hashtbl.replace f.f_cells.lc_tbl label i;
+        i
+
+(* ------------------------------------------------------------------ *)
 (* Merging                                                            *)
 (* ------------------------------------------------------------------ *)
+
+let merge_histo ~(into : Histogram.t) (src : Histogram.t) =
+  Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) src.counts;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.max > into.max then into.max <- src.max
+
+let merge_span ~(into : Span.t) (src : Span.t) =
+  into.count <- into.count + src.count;
+  into.total <- into.total +. src.total
 
 (* Fold one registry into another after a fork/join: counters and
    gauges add (a gauge reading such as compiled_states is a resource
    count in the merged world, so summing per-domain readings is the
    lossless combination), histograms add bucket-by-bucket with the
    max of maxima, spans add counts and totals.  Instruments missing
-   on either side are created on [into], so no observation is lost. *)
+   on either side are created on [into], so no observation is lost.
+   Labelled families merge per label with the same rules. *)
 let merge ~into src =
   if into.on && src.on then begin
     Hashtbl.iter
@@ -167,43 +259,70 @@ let merge ~into src =
         Counter.add dst c.v)
       src.counters;
     Hashtbl.iter
-      (fun name (h : Histogram.t) ->
-        let dst = histogram into name in
-        Array.iteri
-          (fun i n -> dst.counts.(i) <- dst.counts.(i) + n)
-          h.counts;
-        dst.count <- dst.count + h.count;
-        dst.sum <- dst.sum + h.sum;
-        if h.max > dst.max then dst.max <- h.max)
+      (fun name (h : Histogram.t) -> merge_histo ~into:(histogram into name) h)
       src.histograms;
     Hashtbl.iter
-      (fun name (s : Span.t) ->
-        let dst = span into name in
-        dst.count <- dst.count + s.count;
-        dst.total <- dst.total +. s.total)
-      src.spans
+      (fun name (s : Span.t) -> merge_span ~into:(span into name) s)
+      src.spans;
+    Hashtbl.iter
+      (fun name cells ->
+        let dst = counter_family into ~key:cells.lc_key name in
+        Hashtbl.iter
+          (fun label (c : Counter.t) -> Counter.add (labelled dst label) c.v)
+          cells.lc_tbl)
+      src.lcounters;
+    Hashtbl.iter
+      (fun name cells ->
+        let dst = histogram_family into ~key:cells.lc_key name in
+        Hashtbl.iter
+          (fun label h -> merge_histo ~into:(labelled dst label) h)
+          cells.lc_tbl)
+      src.lhistograms;
+    Hashtbl.iter
+      (fun name cells ->
+        let dst = span_family into ~key:cells.lc_key name in
+        Hashtbl.iter
+          (fun label s -> merge_span ~into:(labelled dst label) s)
+          cells.lc_tbl)
+      src.lspans;
+    Hashtbl.iter
+      (fun name h ->
+        if not (Hashtbl.mem into.help name) then Hashtbl.replace into.help name h)
+      src.help
   end
 
 (* Zero every instrument in place, keeping registrations (and any
    installed sink): instruments already resolved by running sessions
    stay live, so a long-running server can reset between requests
    without re-creating its sessions.  Counters and gauges drop to 0,
-   histograms forget their buckets, spans their totals. *)
+   histograms forget their buckets, spans their totals.  Labelled
+   cells are zeroed but keep their label registrations for the same
+   reason. *)
 let reset t =
   if t.on then begin
-    Hashtbl.iter (fun _ (c : Counter.t) -> c.v <- 0) t.counters;
+    let zero_counter (c : Counter.t) = c.v <- 0 in
+    let zero_histo (h : Histogram.t) =
+      Array.fill h.counts 0 Histogram.n_buckets 0;
+      h.count <- 0;
+      h.sum <- 0;
+      h.max <- 0
+    in
+    let zero_span (s : Span.t) =
+      s.count <- 0;
+      s.total <- 0.
+    in
+    Hashtbl.iter (fun _ c -> zero_counter c) t.counters;
+    Hashtbl.iter (fun _ h -> zero_histo h) t.histograms;
+    Hashtbl.iter (fun _ s -> zero_span s) t.spans;
     Hashtbl.iter
-      (fun _ (h : Histogram.t) ->
-        Array.fill h.counts 0 Histogram.n_buckets 0;
-        h.count <- 0;
-        h.sum <- 0;
-        h.max <- 0)
-      t.histograms;
+      (fun _ cells -> Hashtbl.iter (fun _ c -> zero_counter c) cells.lc_tbl)
+      t.lcounters;
     Hashtbl.iter
-      (fun _ (s : Span.t) ->
-        s.count <- 0;
-        s.total <- 0.)
-      t.spans
+      (fun _ cells -> Hashtbl.iter (fun _ h -> zero_histo h) cells.lc_tbl)
+      t.lhistograms;
+    Hashtbl.iter
+      (fun _ cells -> Hashtbl.iter (fun _ s -> zero_span s) cells.lc_tbl)
+      t.lspans
   end
 
 (* ------------------------------------------------------------------ *)
@@ -247,16 +366,34 @@ type histo_data = {
   h_buckets : (int * int) list;  (* (le bound, count in that bucket) *)
 }
 
+(* One labelled family in a snapshot: the label key plus the per-label
+   readings, sorted by label. *)
+type 'a labelled_data = { l_key : string; l_cells : (string * 'a) list }
+
 type snapshot = {
   s_counters : (string * int) list;  (* monotonic, sorted by name *)
   s_gauges : (string * int) list;
   s_histograms : (string * histo_data) list;
   s_spans : (string * (int * float)) list;  (* count, total seconds *)
+  s_lcounters : (string * int labelled_data) list;
+  s_lhistograms : (string * histo_data labelled_data) list;
+  s_lspans : (string * (int * float) labelled_data) list;
+  s_help : (string * string) list;
 }
 
 let sorted_bindings tbl value =
   Hashtbl.fold (fun name v acc -> (name, value v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histo_data (h : Histogram.t) =
+  let buckets = ref [] in
+  for i = Histogram.n_buckets - 1 downto 0 do
+    if h.counts.(i) > 0 then buckets := (1 lsl i, h.counts.(i)) :: !buckets
+  done;
+  { h_count = h.count; h_sum = h.sum; h_max = h.max; h_buckets = !buckets }
+
+let snapshot_family value cells =
+  { l_key = cells.lc_key; l_cells = sorted_bindings cells.lc_tbl value }
 
 let snapshot t =
   let counters, gauges =
@@ -271,27 +408,38 @@ let snapshot t =
   {
     s_counters = List.sort by_name counters;
     s_gauges = List.sort by_name gauges;
-    s_histograms =
-      sorted_bindings t.histograms (fun (h : Histogram.t) ->
-          let buckets = ref [] in
-          for i = Histogram.n_buckets - 1 downto 0 do
-            if h.counts.(i) > 0 then
-              buckets := (1 lsl i, h.counts.(i)) :: !buckets
-          done;
-          { h_count = h.count; h_sum = h.sum; h_max = h.max;
-            h_buckets = !buckets });
+    s_histograms = sorted_bindings t.histograms histo_data;
     s_spans = sorted_bindings t.spans (fun (s : Span.t) -> (s.count, s.total));
+    s_lcounters =
+      sorted_bindings t.lcounters
+        (snapshot_family (fun (c : Counter.t) -> c.v));
+    s_lhistograms = sorted_bindings t.lhistograms (snapshot_family histo_data);
+    s_lspans =
+      sorted_bindings t.lspans
+        (snapshot_family (fun (s : Span.t) -> (s.count, s.total)));
+    s_help = sorted_bindings t.help Fun.id;
   }
 
 let is_empty s =
   s.s_counters = [] && s.s_gauges = [] && s.s_histograms = []
-  && s.s_spans = []
+  && s.s_spans = [] && s.s_lcounters = [] && s.s_lhistograms = []
+  && s.s_lspans = []
 
 let counters s =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
     (s.s_counters @ s.s_gauges)
 let find_counter s name = List.assoc_opt name (counters s)
+
+let labelled_counter_values s name =
+  match List.assoc_opt name s.s_lcounters with
+  | Some d -> d.l_cells
+  | None -> []
+
+let labelled_span_values s name =
+  match List.assoc_opt name s.s_lspans with
+  | Some d -> d.l_cells
+  | None -> []
 
 (* The per-request delta of a long-running process: subtract the
    [since] baseline from [now], member-wise.  Monotone instruments
@@ -300,7 +448,8 @@ let find_counter s name = List.assoc_opt name (counters s)
    degrades to reporting [now] rather than going negative.  Gauges are
    level readings, not accumulations, so the diff keeps the current
    reading; a histogram's [max] likewise cannot be un-merged and keeps
-   the [now] value. *)
+   the [now] value.  Labelled families diff label-by-label with the
+   same rules; labels first seen in [now] pass through unchanged. *)
 let diff ~since now =
   (* A monotone reading below its baseline means the registry was
      reset inside the window; the whole [now] value is then window
@@ -312,63 +461,157 @@ let diff ~since now =
   let sub_ints nows sinces =
     List.map (fun (name, v) -> (name, sub v (base_int sinces name))) nows
   in
+  let sub_histo_data h0 h =
+    if h.h_count < h0.h_count then h
+    else
+      let bucket0 le = base_int h0.h_buckets le in
+      { h_count = sub h.h_count h0.h_count;
+        h_sum = sub h.h_sum h0.h_sum;
+        h_max = h.h_max;
+        h_buckets =
+          List.filter_map
+            (fun (le, n) ->
+              let d = sub n (bucket0 le) in
+              if d > 0 then Some (le, d) else None)
+            h.h_buckets }
+  in
   let sub_histo (name, h) =
     match List.assoc_opt name since.s_histograms with
     | None -> (name, h)
-    | Some h0 when h.h_count < h0.h_count -> (name, h)
-    | Some h0 ->
-        let bucket0 le = base_int h0.h_buckets le in
-        ( name,
-          { h_count = sub h.h_count h0.h_count;
-            h_sum = sub h.h_sum h0.h_sum;
-            h_max = h.h_max;
-            h_buckets =
-              List.filter_map
-                (fun (le, n) ->
-                  let d = sub n (bucket0 le) in
-                  if d > 0 then Some (le, d) else None)
-                h.h_buckets } )
+    | Some h0 -> (name, sub_histo_data h0 h)
   in
-  let sub_span (name, (count, total)) =
+  let sub_span_data (c0, t0) (count, total) = (sub count c0, subf total t0) in
+  let sub_span (name, sp) =
     match List.assoc_opt name since.s_spans with
-    | None -> (name, (count, total))
-    | Some (c0, t0) -> (name, (sub count c0, subf total t0))
+    | None -> (name, sp)
+    | Some sp0 -> (name, sub_span_data sp0 sp)
+  in
+  let sub_family sub_cell sinces (name, d) =
+    match List.assoc_opt name sinces with
+    | None -> (name, d)
+    | Some d0 ->
+        ( name,
+          { d with
+            l_cells =
+              List.map
+                (fun (label, v) ->
+                  match List.assoc_opt label d0.l_cells with
+                  | None -> (label, v)
+                  | Some v0 -> (label, sub_cell v0 v))
+                d.l_cells } )
   in
   {
     s_counters = sub_ints now.s_counters since.s_counters;
     s_gauges = now.s_gauges;
     s_histograms = List.map sub_histo now.s_histograms;
     s_spans = List.map sub_span now.s_spans;
+    s_lcounters =
+      List.map
+        (sub_family (fun v0 v -> sub v v0) since.s_lcounters)
+        now.s_lcounters;
+    s_lhistograms =
+      List.map (sub_family sub_histo_data since.s_lhistograms) now.s_lhistograms;
+    s_lspans = List.map (sub_family sub_span_data since.s_lspans) now.s_lspans;
+    s_help = now.s_help;
   }
+
+let histo_json h =
+  Json.Object
+    [ ("count", Json.int h.h_count);
+      ("sum", Json.int h.h_sum);
+      ("max", Json.int h.h_max);
+      ( "buckets",
+        Json.Object
+          (List.map (fun (le, n) -> (string_of_int le, Json.int n)) h.h_buckets)
+      ) ]
+
+let span_json (count, total) =
+  Json.Object [ ("count", Json.int count); ("seconds", Json.Number total) ]
 
 let to_json s =
   let ints kvs = Json.Object (List.map (fun (k, v) -> (k, Json.int v)) kvs) in
-  let histo (name, h) =
+  let family cell (name, d) =
     ( name,
       Json.Object
-        [ ("count", Json.int h.h_count);
-          ("sum", Json.int h.h_sum);
-          ("max", Json.int h.h_max);
-          ( "buckets",
-            Json.Object
-              (List.map
-                 (fun (le, n) -> (string_of_int le, Json.int n))
-                 h.h_buckets) ) ] )
+        [ ("key", Json.String d.l_key);
+          ("cells", Json.Object (List.map (fun (l, v) -> (l, cell v)) d.l_cells))
+        ] )
   in
-  let span (name, (count, total)) =
-    ( name,
-      Json.Object
-        [ ("count", Json.int count); ("seconds", Json.Number total) ] )
+  let labelled =
+    (if s.s_lcounters = [] then []
+     else
+       [ ("counters",
+          Json.Object (List.map (family Json.int) s.s_lcounters)) ])
+    @ (if s.s_lhistograms = [] then []
+       else
+         [ ("histograms",
+            Json.Object (List.map (family histo_json) s.s_lhistograms)) ])
+    @
+    if s.s_lspans = [] then []
+    else [ ("spans", Json.Object (List.map (family span_json) s.s_lspans)) ]
   in
   Json.Object
-    [ ("counters", ints s.s_counters);
-      ("gauges", ints s.s_gauges);
-      ("histograms", Json.Object (List.map histo s.s_histograms));
-      ("spans", Json.Object (List.map span s.s_spans)) ]
+    ([ ("counters", ints s.s_counters);
+       ("gauges", ints s.s_gauges);
+       ("histograms", Json.Object (List.map (fun (n, h) -> (n, histo_json h)) s.s_histograms));
+       ("spans", Json.Object (List.map (fun (n, sp) -> (n, span_json sp)) s.s_spans)) ]
+    (* Only present when a labelled family exists, so registries that
+       never use attribution render exactly as before. *)
+    @ if labelled = [] then [] else [ ("labelled", Json.Object labelled) ])
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; instrument names
+   come from code but flow through here anyway so a future dynamic
+   name cannot emit a malformed exposition. *)
+let sanitize_name s =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
+    s
+
+(* Label values are arbitrary UTF-8 (shape labels are IRIs, focus
+   nodes can be literals with any content) and the exposition quotes
+   them: backslash, double quote and newline are the three characters
+   the format requires escaping. *)
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* HELP text: escape backslash and newline (quotes are legal there). *)
+let escape_help v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
 
 let pp_text ppf s =
+  let help_of name = List.assoc_opt name s.s_help in
+  (* [header raw exposed kind] prints the optional # HELP (keyed by the
+     instrument's registry name) and # TYPE lines for the exposed
+     (sanitized, possibly suffixed) metric name. *)
+  let header raw exposed kind =
+    (match help_of raw with
+    | Some h -> Format.fprintf ppf "# HELP shex_%s %s@." exposed (escape_help h)
+    | None -> ());
+    Format.fprintf ppf "# TYPE shex_%s %s@." exposed kind
+  in
   let metric kind name v =
-    Format.fprintf ppf "# TYPE shex_%s %s@.shex_%s %d@." name kind name v
+    let m = sanitize_name name in
+    header name m kind;
+    Format.fprintf ppf "shex_%s %d@." m v
   in
   (* Counters and gauges interleave in one sorted sequence so the
      exposition order is independent of instrument kind. *)
@@ -380,22 +623,65 @@ let pp_text ppf s =
   in
   List.iter (fun (name, kind, v) -> metric kind name v) ints;
   List.iter
-    (fun (name, h) ->
-      Format.fprintf ppf "# TYPE shex_%s histogram@." name;
-      let cumulative = ref 0 in
+    (fun (name, d) ->
+      let m = sanitize_name name and key = sanitize_name d.l_key in
+      header name m "counter";
       List.iter
-        (fun (le, n) ->
-          cumulative := !cumulative + n;
-          Format.fprintf ppf "shex_%s_bucket{le=\"%d\"} %d@." name le
-            !cumulative)
-        h.h_buckets;
-      Format.fprintf ppf "shex_%s_bucket{le=\"+Inf\"} %d@." name h.h_count;
-      Format.fprintf ppf "shex_%s_sum %d@." name h.h_sum;
-      Format.fprintf ppf "shex_%s_count %d@." name h.h_count)
+        (fun (label, v) ->
+          Format.fprintf ppf "shex_%s{%s=\"%s\"} %d@." m key
+            (escape_label label) v)
+        d.l_cells)
+    s.s_lcounters;
+  let histo_lines m labels h =
+    let cumulative = ref 0 in
+    List.iter
+      (fun (le, n) ->
+        cumulative := !cumulative + n;
+        Format.fprintf ppf "shex_%s_bucket{%sle=\"%d\"} %d@." m labels le
+          !cumulative)
+      h.h_buckets;
+    Format.fprintf ppf "shex_%s_bucket{%sle=\"+Inf\"} %d@." m labels h.h_count;
+    (match labels with
+    | "" ->
+        Format.fprintf ppf "shex_%s_sum %d@." m h.h_sum;
+        Format.fprintf ppf "shex_%s_count %d@." m h.h_count
+    | _ ->
+        let l = String.sub labels 0 (String.length labels - 1) in
+        Format.fprintf ppf "shex_%s_sum{%s} %d@." m l h.h_sum;
+        Format.fprintf ppf "shex_%s_count{%s} %d@." m l h.h_count)
+  in
+  List.iter
+    (fun (name, h) ->
+      let m = sanitize_name name in
+      header name m "histogram";
+      histo_lines m "" h)
     s.s_histograms;
   List.iter
+    (fun (name, d) ->
+      let m = sanitize_name name and key = sanitize_name d.l_key in
+      header name m "histogram";
+      List.iter
+        (fun (label, h) ->
+          histo_lines m
+            (Format.sprintf "%s=\"%s\"," key (escape_label label))
+            h)
+        d.l_cells)
+    s.s_lhistograms;
+  List.iter
     (fun (name, (count, total)) ->
-      Format.fprintf ppf "# TYPE shex_%s_seconds summary@." name;
-      Format.fprintf ppf "shex_%s_seconds_count %d@." name count;
-      Format.fprintf ppf "shex_%s_seconds_sum %.6f@." name total)
-    s.s_spans
+      let m = sanitize_name name in
+      header name (m ^ "_seconds") "summary";
+      Format.fprintf ppf "shex_%s_seconds_count %d@." m count;
+      Format.fprintf ppf "shex_%s_seconds_sum %.6f@." m total)
+    s.s_spans;
+  List.iter
+    (fun (name, d) ->
+      let m = sanitize_name name and key = sanitize_name d.l_key in
+      header name (m ^ "_seconds") "summary";
+      List.iter
+        (fun (label, (count, total)) ->
+          let l = Format.sprintf "%s=\"%s\"" key (escape_label label) in
+          Format.fprintf ppf "shex_%s_seconds_count{%s} %d@." m l count;
+          Format.fprintf ppf "shex_%s_seconds_sum{%s} %.6f@." m l total)
+        d.l_cells)
+    s.s_lspans

@@ -84,14 +84,49 @@ module Span : sig
       ([Unix.gettimeofday]) and bumping the span's run count.  On an
       inactive span this is just the call. *)
 
+  val record : t -> float -> unit
+  (** Account one already-measured duration (seconds): adds it to the
+      total and bumps the run count.  Negative readings (a clock step)
+      clamp to zero.  For callers that hold one measurement and feed
+      several spans — timing each with {!time} would stack clock
+      calls. *)
+
   val count : t -> int
   val total : t -> float
 end
 
-val counter : t -> string -> Counter.t
-val gauge : t -> string -> Counter.t
-val histogram : t -> string -> Histogram.t
-val span : t -> string -> Span.t
+val counter : t -> ?help:string -> string -> Counter.t
+val gauge : t -> ?help:string -> string -> Counter.t
+val histogram : t -> ?help:string -> string -> Histogram.t
+val span : t -> ?help:string -> string -> Span.t
+(** The [?help] string (first writer wins, ignored on {!disabled})
+    becomes the [# HELP] line of {!pp_text}. *)
+
+(** {1 Labelled families}
+
+    One logical metric fanned out over a string label — the
+    attribution dimension ([deriv_steps_by_shape{shape="Person"}]).
+    A family is get-or-create by name like any instrument; each label
+    resolves (get-or-create) to an ordinary cell of the family's
+    instrument type, so after resolution the hot path pays exactly the
+    plain-instrument cost.  Families merge, reset, diff, snapshot and
+    render like everything else: [{key="label"}] Prometheus lines in
+    {!pp_text}, a ["labelled"] member in {!to_json} (present only when
+    at least one family exists).  On {!disabled}, families hand out
+    uncached inert cells and register nothing. *)
+
+type 'a family
+
+val counter_family : t -> ?help:string -> key:string -> string -> Counter.t family
+(** Labelled cells are always monotonic counters. *)
+
+val histogram_family : t -> ?help:string -> key:string -> string -> Histogram.t family
+val span_family : t -> ?help:string -> key:string -> string -> Span.t family
+
+val labelled : 'a family -> string -> 'a
+(** [labelled fam label] is the cell for [label], created on first
+    use.  Resolve once per label on hot paths (a hashtable probe);
+    the returned cell is then a plain instrument. *)
 
 val merge : into:t -> t -> unit
 (** [merge ~into src] folds every instrument of [src] into [into]:
@@ -192,6 +227,14 @@ val counters : snapshot -> (string * int) list
 
 val find_counter : snapshot -> string -> int option
 
+val labelled_counter_values : snapshot -> string -> (string * int) list
+(** The cells of a labelled counter family, sorted by label; [[]] when
+    the family does not exist. *)
+
+val labelled_span_values : snapshot -> string -> (string * (int * float)) list
+(** The cells of a labelled span family as [(label, (count, seconds))],
+    sorted by label; [[]] when the family does not exist. *)
+
 val diff : since:snapshot -> snapshot -> snapshot
 (** [diff ~since now] is the per-window delta between two snapshots of
     the same registry — what a long-running server reports per
@@ -201,15 +244,26 @@ val diff : since:snapshot -> snapshot -> snapshot
     {!reset} inside the window, and the diff then reports the [now]
     value unchanged (never a negative); gauges and histogram
     maxima are level readings and keep their [now] values; instruments
-    that first appear in [now] pass through unchanged. *)
+    that first appear in [now] pass through unchanged.  Labelled
+    families diff label-by-label under the same rules (fresh labels
+    pass through; a per-label reset degrades to the [now] reading). *)
 
 val to_json : snapshot -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...},
     "spans": {...}}], every object sorted by key.  Histograms render
     as [{"count", "sum", "max", "buckets"}] with non-empty buckets
-    keyed by their [le] bound; spans as [{"count", "seconds"}]. *)
+    keyed by their [le] bound; spans as [{"count", "seconds"}].  When
+    at least one labelled family exists a trailing ["labelled"] member
+    nests them as [{"counters"|"histograms"|"spans":
+    {family: {"key": label-key, "cells": {label: reading}}}}]. *)
 
 val pp_text : Format.formatter -> snapshot -> unit
-(** Prometheus-style text exposition: [# TYPE] comment lines,
-    [shex_]-prefixed metric names, cumulative [_bucket{le="..."}]
-    lines for histograms, [_sum]/[_count] for histograms and spans. *)
+(** Prometheus-style text exposition: [# HELP] (when registered) and
+    [# TYPE] comment lines, [shex_]-prefixed metric names, cumulative
+    [_bucket{le="..."}] lines for histograms, [_sum]/[_count] for
+    histograms and spans; labelled families render one line per label
+    as [shex_name{key="label"} v].  Metric and label-key names are
+    sanitized to the Prometheus charset ([[a-zA-Z0-9_:]], other bytes
+    become [_]); label values escape backslash, double quote and
+    newline, so an arbitrary shape label or focus-node literal cannot
+    produce a malformed exposition. *)

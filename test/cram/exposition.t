@@ -1,0 +1,121 @@
+Prometheus text-exposition format, on the paper's Examples 1-2
+fixture (same setup as validate.t):
+
+  $ cat > person.shex <<'SCHEMA'
+  > PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+  > PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+  > <Person> {
+  >   foaf:age xsd:integer
+  >   , foaf:name xsd:string+
+  >   , foaf:knows @<Person>*
+  > }
+  > SCHEMA
+
+  $ cat > people.ttl <<'DATA'
+  > @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+  > @prefix : <http://example.org/> .
+  > :john foaf:age 23; foaf:name "John"; foaf:knows :bob .
+  > :bob foaf:age 34; foaf:name "Bob", "Robert" .
+  > :mary foaf:age 50, 65 .
+  > DATA
+
+With --profile the snapshot carries, beyond the engine's global
+counters and histograms: process-resource gauges (each with a # HELP
+line), and the per-shape / per-node attribution families rendered as
+labelled cells — `family{shape="…"} value`.  Span families get the
+conventional `_count` / `_sum` pair.  Everything wall-clock- or
+allocation-dependent (the Gc gauges and the span sums) is normalised;
+sed ends the pipeline so mary's failing verdict sets no exit marker:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/mary --shape Person \
+  >   --profile --metrics text --quiet 2>/dev/null \
+  >   | sed -E 's/^(shex_gc_[a-z_]+) [0-9.e+-]+$/\1 _/; s/^(shex_check_seconds_by_(node|shape)_seconds_sum\{[^}]*\}) [0-9.e+-]+$/\1 _/'
+  # TYPE shex_backtrack_branches counter
+  shex_backtrack_branches 0
+  # TYPE shex_backtrack_decompositions counter
+  shex_backtrack_decompositions 0
+  # TYPE shex_deriv_steps counter
+  shex_deriv_steps 2
+  # TYPE shex_fixpoint_demands counter
+  shex_fixpoint_demands 1
+  # TYPE shex_fixpoint_flips counter
+  shex_fixpoint_flips 1
+  # TYPE shex_fixpoint_iterations counter
+  shex_fixpoint_iterations 1
+  # HELP shex_gc_compactions Heap compactions
+  # TYPE shex_gc_compactions gauge
+  shex_gc_compactions _
+  # HELP shex_gc_heap_words Major heap size in words
+  # TYPE shex_gc_heap_words gauge
+  shex_gc_heap_words _
+  # HELP shex_gc_major_collections Major collection cycles
+  # TYPE shex_gc_major_collections gauge
+  shex_gc_major_collections _
+  # HELP shex_gc_major_words Gc.quick_stat major_words
+  # TYPE shex_gc_major_words gauge
+  shex_gc_major_words _
+  # HELP shex_gc_minor_collections Minor collections
+  # TYPE shex_gc_minor_collections gauge
+  shex_gc_minor_collections _
+  # HELP shex_gc_minor_words Gc.quick_stat minor_words
+  # TYPE shex_gc_minor_words gauge
+  shex_gc_minor_words _
+  # HELP shex_gc_top_heap_words Largest major heap size reached, in words
+  # TYPE shex_gc_top_heap_words gauge
+  shex_gc_top_heap_words _
+  # HELP shex_memo_entries Memoised (node, shape) verdicts
+  # TYPE shex_memo_entries gauge
+  shex_memo_entries 1
+  # TYPE shex_sorbe_counter_updates counter
+  shex_sorbe_counter_updates 0
+  # TYPE shex_sorbe_matches counter
+  shex_sorbe_matches 0
+  # HELP shex_backtrack_branches_by_shape Backtracking branches attributed to this shape
+  # TYPE shex_backtrack_branches_by_shape counter
+  shex_backtrack_branches_by_shape{shape="Person"} 0
+  # HELP shex_checks_by_shape Evaluations per shape (fixpoint re-runs included)
+  # TYPE shex_checks_by_shape counter
+  shex_checks_by_shape{shape="Person"} 1
+  # HELP shex_compiled_steps_by_shape Compiled-DFA transitions attributed to this shape
+  # TYPE shex_compiled_steps_by_shape counter
+  shex_compiled_steps_by_shape{shape="Person"} 0
+  # HELP shex_deriv_steps_by_shape Derivative steps attributed to this shape
+  # TYPE shex_deriv_steps_by_shape counter
+  shex_deriv_steps_by_shape{shape="Person"} 2
+  # HELP shex_fixpoint_flips_by_shape Fixpoint hypotheses on this shape refuted
+  # TYPE shex_fixpoint_flips_by_shape counter
+  shex_fixpoint_flips_by_shape{shape="Person"} 1
+  # HELP shex_sorbe_counter_updates_by_shape SORBE counter updates attributed to this shape
+  # TYPE shex_sorbe_counter_updates_by_shape counter
+  shex_sorbe_counter_updates_by_shape{shape="Person"} 0
+  # TYPE shex_deriv_size_after histogram
+  shex_deriv_size_after_bucket{le="1"} 1
+  shex_deriv_size_after_bucket{le="8"} 2
+  shex_deriv_size_after_bucket{le="+Inf"} 2
+  shex_deriv_size_after_sum 8
+  shex_deriv_size_after_count 2
+  # TYPE shex_deriv_size_before histogram
+  shex_deriv_size_before_bucket{le="8"} 1
+  shex_deriv_size_before_bucket{le="16"} 2
+  shex_deriv_size_before_bucket{le="+Inf"} 2
+  shex_deriv_size_before_sum 16
+  shex_deriv_size_before_count 2
+  # HELP shex_check_seconds_by_node_seconds Self wall time of checks of this focus node
+  # TYPE shex_check_seconds_by_node_seconds summary
+  shex_check_seconds_by_node_seconds_count{node="<http://example.org/mary>"} 1
+  shex_check_seconds_by_node_seconds_sum{node="<http://example.org/mary>"} _
+  # HELP shex_check_seconds_by_shape_seconds Self wall time of evaluations of this shape
+  # TYPE shex_check_seconds_by_shape_seconds summary
+  shex_check_seconds_by_shape_seconds_count{shape="Person"} 1
+  shex_check_seconds_by_shape_seconds_sum{shape="Person"} _
+
+Without --profile the exposition is exactly what it was before the
+attribution work landed: no labelled families, no resource gauges
+(metrics.t keeps that golden); only the memo gauge rides along:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/mary --shape Person \
+  >   --metrics text --quiet 2>/dev/null | grep -cE '\{(shape|node)='
+  0
+  [1]

@@ -1,0 +1,107 @@
+Per-shape cost attribution on the paper's Examples 1-2 fixture (same
+setup as validate.t):
+
+  $ cat > person.shex <<'SCHEMA'
+  > PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+  > PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+  > <Person> {
+  >   foaf:age xsd:integer
+  >   , foaf:name xsd:string+
+  >   , foaf:knows @<Person>*
+  > }
+  > SCHEMA
+
+  $ cat > people.ttl <<'DATA'
+  > @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+  > @prefix : <http://example.org/> .
+  > :john foaf:age 23; foaf:name "John"; foaf:knows :bob .
+  > :bob foaf:age 34; foaf:name "Bob", "Robert" .
+  > :mary foaf:age 50, 65 .
+  > DATA
+
+--profile prints the hottest-shapes / hottest-focus-nodes tables on
+stderr after validation.  Both tables sort by measured wall time, so
+the goldens here check a single-node run (multi-node ordering is
+covered deterministically by the unit tests); mary's failing check
+costs exactly two derivative steps and one refuted fixpoint
+hypothesis, and self-cost accounting charges every step to a shape —
+the attribution line is structurally 100%.  Wall times are normalised
+away; the verdict drives the exit status as usual but sed ends the
+pipeline, so no [1] here:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/mary --shape Person --profile --quiet \
+  >   2>&1 | sed -E 's/ +[0-9]+\.[0-9]{3}/ _/g'
+  profile: hottest shapes (top 1 of 1, by wall time)
+    shape                                              checks    wall_ms      deriv   backtrck    sorbe      dfa  flips
+    Person                                                  1 _          2          0        0        0      1
+  profile: hottest focus nodes (top 1 of 1)
+    node                                               checks    wall_ms
+    <http://example.org/mary>                               1 _
+  profile: attribution 100.0% of 2 deriv_steps, _ ms attributed
+
+With --json the attribution tables are embedded as a final "profile"
+member of the report, after any "metrics" member:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/mary --shape Person --profile --json \
+  >   --quiet 2>/dev/null | sed -E 's/wall_ms": [0-9.e+-]+/wall_ms": _/g'
+  {
+    "entries": [
+      {
+        "node": "<http://example.org/mary>",
+        "shape": "Person",
+        "status": "nonconformant",
+        "reason": "triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)",
+        "explain": {
+          "kind": "blame_triple",
+          "node": "<http://example.org/mary>",
+          "shape": "Person",
+          "triple": "<http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+          "residual": "<http://xmlns.com/foaf/0.1/name>→xsd:string ‖ (<http://xmlns.com/foaf/0.1/knows>→@<Person>)* ‖ (<http://xmlns.com/foaf/0.1/name>→xsd:string)*",
+          "ref_failures": []
+        }
+      }
+    ],
+    "conformant": 0,
+    "nonconformant": 1,
+    "profile": {
+      "shapes": [
+        {
+          "shape": "Person",
+          "checks": 1,
+          "wall_ms": _,
+          "deriv_steps": 2,
+          "backtrack_branches": 0,
+          "sorbe_counter_updates": 0,
+          "compiled_steps": 0,
+          "fixpoint_flips": 1
+        }
+      ],
+      "nodes": [
+        {
+          "node": "<http://example.org/mary>",
+          "checks": 1,
+          "wall_ms": _
+        }
+      ],
+      "totals": {
+        "deriv_steps": 2,
+        "attributed_deriv_steps": 2,
+        "step_coverage": 1,
+        "attributed_wall_ms": _
+      }
+    }
+  }
+
+--slow-ms T captures every check at or above T milliseconds in a
+bounded ring and dumps it on stderr: verdict, failure reason and the
+check's own work-counter deltas.  At threshold 0 the (failing) mary
+check lands; only its wall-clock reading is nondeterministic:
+
+  $ shex-validate --schema person.shex --data people.ttl \
+  >   --node http://example.org/mary --shape Person --slow-ms 0 --quiet \
+  >   2>&1 | sed -E 's/ +[0-9]+\.[0-9]{3} ms/ _ ms/'
+  slowlog: 1 slow check (threshold 0 ms)
+   _ ms  <http://example.org/mary>@Person  non-conformant deriv_steps=2 fixpoint_iterations=1 fixpoint_flips=1 fixpoint_demands=1
+               triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> "65"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)

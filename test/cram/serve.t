@@ -58,10 +58,13 @@ Malformed commands — broken JSON, unknown commands, missing members,
 commands before any schema is loaded, unparsable triples, unknown
 shape labels — answer a plain "error:" line and the daemon keeps
 serving (the final query still works, and the error count lands in
-the metrics):
+the metrics).  The metrics reply carries the daemon's uptime (wall
+seconds and requests served) and process resources (Gc heap words and
+collection counts) ahead of the telemetry snapshot; everything
+wall-clock- or allocation-dependent is normalised here:
 
   $ shex-validate --serve --schema person.shex --data people.ttl <<'EOF' \
-  >   | sed -E 's/"seconds":[0-9.e+-]+/"seconds":_/g'
+  >   | sed -E 's/"seconds":[0-9.e+-]+/"seconds":_/g; s/"(heap_words|minor_collections|major_collections)":[0-9]+/"\1":_/g'
   > not json at all
   > {"nocmd":true}
   > {"cmd":"frobnicate"}
@@ -73,12 +76,45 @@ the metrics):
   > EOF
   error: parse: JSON error at 1:2: expected 'u'
   error: missing "cmd" member
-  error: unknown command "frobnicate" (known: load, insert, delete, query, metrics, shutdown)
+  error: unknown command "frobnicate" (known: load, insert, delete, query, metrics, slowlog, shutdown)
   error: missing "triples" member (Turtle text)
   error: triples: lexical error at 1:5: expected ':' after "this"
   error: unknown shape label "Nope" (known: Person)
   {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true}
-  {"ok":true,"metrics":{"counters":{"backtrack_branches":0,"backtrack_decompositions":0,"deriv_steps":6,"fixpoint_demands":2,"fixpoint_flips":0,"fixpoint_iterations":2,"incremental_deltas":0,"incremental_edits":0,"incremental_full_resets":0,"incremental_invalidated":0,"incremental_resolved":0,"serve_errors":6,"serve_requests":8,"sorbe_counter_updates":0,"sorbe_matches":0},"gauges":{},"histograms":{"deriv_size_after":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"deriv_size_before":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"incremental_frontier_size":{"count":0,"sum":0,"max":0,"buckets":{}}},"spans":{"incremental_apply":{"count":0,"seconds":_},"serve_request":{"count":7,"seconds":_}}}}
+  {"ok":true,"uptime":{"seconds":_,"requests":8},"resources":{"heap_words":_,"minor_collections":_,"major_collections":_},"metrics":{"counters":{"backtrack_branches":0,"backtrack_decompositions":0,"deriv_steps":6,"fixpoint_demands":2,"fixpoint_flips":0,"fixpoint_iterations":2,"incremental_deltas":0,"incremental_edits":0,"incremental_full_resets":0,"incremental_invalidated":0,"incremental_resolved":0,"serve_errors":6,"serve_requests":8,"sorbe_counter_updates":0,"sorbe_matches":0},"gauges":{},"histograms":{"deriv_size_after":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"deriv_size_before":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"incremental_frontier_size":{"count":0,"sum":0,"max":0,"buckets":{}}},"spans":{"incremental_apply":{"count":0,"seconds":_},"serve_request":{"count":7,"seconds":_}}}}
+
+Slow-validation capture: started with --slow-ms 0 every check lands
+in the ring buffer with its verdict, failure reason and work-counter
+deltas.  The slowlog command dumps the buffer; "threshold_ms" rewires
+the threshold live (so john's fast query below stays out), and
+"clear" empties the ring after dumping.  Only the wall-clock ms is
+nondeterministic:
+
+  $ shex-validate --serve --schema person.shex --data people.ttl --slow-ms 0 <<'EOF' \
+  >   | sed -E 's/"ms":[0-9.e+-]+/"ms":_/g'
+  > {"cmd":"query","node":"http://example.org/mary","shape":"Person"}
+  > {"cmd":"slowlog"}
+  > {"cmd":"slowlog","threshold_ms":5000}
+  > {"cmd":"query","node":"http://example.org/john","shape":"Person"}
+  > {"cmd":"slowlog","clear":true}
+  > {"cmd":"slowlog"}
+  > {"cmd":"shutdown"}
+  > EOF
+  {"ok":true,"node":"<http://example.org/mary>","shape":"Person","conformant":false}
+  {"ok":true,"slowlog":{"threshold_ms":0,"capacity":128,"seen":1,"entries":[{"node":"<http://example.org/mary>","shape":"Person","ms":_,"conformant":false,"reason":"triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)","work":{"deriv_steps":2,"fixpoint_iterations":1,"fixpoint_flips":1,"fixpoint_demands":1}}]}}
+  {"ok":true,"slowlog":{"threshold_ms":5000,"capacity":128,"seen":1,"entries":[{"node":"<http://example.org/mary>","shape":"Person","ms":_,"conformant":false,"reason":"triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)","work":{"deriv_steps":2,"fixpoint_iterations":1,"fixpoint_flips":1,"fixpoint_demands":1}}]}}
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true}
+  {"ok":true,"slowlog":{"threshold_ms":5000,"capacity":128,"seen":1,"entries":[{"node":"<http://example.org/mary>","shape":"Person","ms":_,"conformant":false,"reason":"triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)","work":{"deriv_steps":2,"fixpoint_iterations":1,"fixpoint_flips":1,"fixpoint_demands":1}}]}}
+  {"ok":true,"slowlog":{"threshold_ms":5000,"capacity":128,"seen":0,"entries":[]}}
+  {"ok":true}
+
+Asking for the slowlog when capture was never armed is an error, not
+a crash:
+
+  $ shex-validate --serve --schema person.shex --data people.ttl <<'EOF'
+  > {"cmd":"slowlog"}
+  > EOF
+  error: slow-validation capture is off (start with --slow-ms or send {"cmd":"slowlog","threshold_ms":N})
 
 Commands before a load (daemon started bare) are errors, not crashes:
 

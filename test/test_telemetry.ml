@@ -203,6 +203,189 @@ let test_snapshot_diff () =
     (get (Telemetry.diff ~since (Telemetry.snapshot t)) "fresh")
 
 (* ------------------------------------------------------------------ *)
+(* Labelled families (the attribution dimension)                       *)
+(* ------------------------------------------------------------------ *)
+
+let lget snap family label =
+  match List.assoc_opt label (Telemetry.labelled_counter_values snap family) with
+  | Some v -> v
+  | None -> Alcotest.failf "label %S missing from family %S" label family
+
+let test_labelled_basics () =
+  let t = Telemetry.create () in
+  let fam = Telemetry.counter_family t ~key:"shape" "steps_by_shape" in
+  Telemetry.Counter.add (Telemetry.labelled fam "Person") 5;
+  Telemetry.Counter.incr (Telemetry.labelled fam "Company") ;
+  (* get-or-create per label: same cell both times *)
+  Telemetry.Counter.add (Telemetry.labelled fam "Person") 2;
+  let snap = Telemetry.snapshot t in
+  Alcotest.(check int) "Person cell" 7 (lget snap "steps_by_shape" "Person");
+  Alcotest.(check int) "Company cell" 1 (lget snap "steps_by_shape" "Company");
+  Alcotest.(check (list (pair string int)))
+    "sorted by label"
+    [ ("Company", 1); ("Person", 7) ]
+    (Telemetry.labelled_counter_values snap "steps_by_shape");
+  Alcotest.(check (list (pair string int)))
+    "missing family is empty" []
+    (Telemetry.labelled_counter_values snap "no_such_family");
+  (* span families report (count, seconds) *)
+  let sf = Telemetry.span_family t ~key:"shape" "seconds_by_shape" in
+  Telemetry.Span.record (Telemetry.labelled sf "Person") 0.25;
+  Telemetry.Span.record (Telemetry.labelled sf "Person") 0.25;
+  (match
+     Telemetry.labelled_span_values (Telemetry.snapshot t) "seconds_by_shape"
+   with
+  | [ ("Person", (2, secs)) ] ->
+      Alcotest.(check (float 1e-9)) "span seconds" 0.5 secs
+  | other ->
+      Alcotest.failf "unexpected span cells (%d)" (List.length other));
+  (* disabled registries hand out inert cells and register nothing *)
+  let dfam =
+    Telemetry.counter_family Telemetry.disabled ~key:"shape" "steps_by_shape"
+  in
+  let cell = Telemetry.labelled dfam "Person" in
+  Telemetry.Counter.add cell 10;
+  Alcotest.(check int) "inert cell" 0 (Telemetry.Counter.value cell);
+  Alcotest.(check bool)
+    "disabled snapshot stays empty" true
+    (Telemetry.is_empty (Telemetry.snapshot Telemetry.disabled))
+
+(* Merging shards adds label-by-label; reset zeroes cells while
+   keeping registrations and resolved-cell identity, exactly like the
+   plain instruments — the interleaving a domain-parallel profiled run
+   plus a long-running server exercises. *)
+let test_labelled_merge_reset () =
+  let shard labels =
+    let t = Telemetry.create () in
+    let fam = Telemetry.counter_family t ~key:"shape" "steps_by_shape" in
+    List.iter
+      (fun (l, v) -> Telemetry.Counter.add (Telemetry.labelled fam l) v)
+      labels;
+    t
+  in
+  let parent = Telemetry.create () in
+  Telemetry.merge ~into:parent (shard [ ("Person", 3); ("Company", 1) ]);
+  Telemetry.merge ~into:parent (shard [ ("Person", 4) ]);
+  let merged = Telemetry.snapshot parent in
+  Alcotest.(check int) "labels add" 7 (lget merged "steps_by_shape" "Person");
+  Alcotest.(check int)
+    "missing-in-one-shard label survives" 1
+    (lget merged "steps_by_shape" "Company");
+  (* A cell resolved before reset keeps recording after. *)
+  let fam = Telemetry.counter_family parent ~key:"shape" "steps_by_shape" in
+  let person = Telemetry.labelled fam "Person" in
+  Telemetry.reset parent;
+  let zeroed = Telemetry.snapshot parent in
+  Alcotest.(check int) "reset cell" 0 (lget zeroed "steps_by_shape" "Person");
+  Telemetry.Counter.incr person;
+  Alcotest.(check int)
+    "pre-reset cell still records" 1
+    (lget (Telemetry.snapshot parent) "steps_by_shape" "Person");
+  Telemetry.merge ~into:parent (shard [ ("Person", 5) ]);
+  Alcotest.(check int)
+    "merge after reset lands on zeroed cells" 6
+    (lget (Telemetry.snapshot parent) "steps_by_shape" "Person")
+
+(* diff over labelled cells: per-window deltas, fresh labels pass
+   through, a reset inside the window degrades to the now reading. *)
+let test_labelled_diff () =
+  let t = Telemetry.create () in
+  let fam = Telemetry.counter_family t ~key:"shape" "steps_by_shape" in
+  let person = Telemetry.labelled fam "Person" in
+  Telemetry.Counter.add person 10;
+  let since = Telemetry.snapshot t in
+  Telemetry.Counter.add person 3;
+  Telemetry.Counter.add (Telemetry.labelled fam "Company") 2;
+  let d = Telemetry.diff ~since (Telemetry.snapshot t) in
+  Alcotest.(check int) "cell delta" 3 (lget d "steps_by_shape" "Person");
+  Alcotest.(check int)
+    "fresh label passes through" 2
+    (lget d "steps_by_shape" "Company");
+  Telemetry.reset t;
+  Telemetry.Counter.add person 4;
+  let after_reset = Telemetry.diff ~since (Telemetry.snapshot t) in
+  Alcotest.(check int)
+    "reset inside window reports now" 4
+    (lget after_reset "steps_by_shape" "Person");
+  (* JSON: the "labelled" member appears exactly when a family exists. *)
+  let json = Telemetry.to_json (Telemetry.snapshot t) in
+  Alcotest.(check bool) "labelled member present" true
+    (Json.find "labelled" json <> None);
+  let plain = Telemetry.create () in
+  Telemetry.Counter.incr (Telemetry.counter plain "steps");
+  Alcotest.(check bool) "no labelled member without families" true
+    (Json.find "labelled" (Telemetry.to_json (Telemetry.snapshot plain))
+    = None)
+
+(* The histogram's top edge: 2^30 still lands in the le=2^30 bucket,
+   anything above it in the overflow slot (rendered with le=2^31 in
+   JSON, accumulated into +Inf by pp_text). *)
+let test_histogram_overflow_edge () =
+  let t = Telemetry.create () in
+  let h = Telemetry.histogram t "sizes" in
+  Telemetry.Histogram.observe h (1 lsl 30);
+  Telemetry.Histogram.observe h ((1 lsl 30) + 1);
+  Telemetry.Histogram.observe h max_int;
+  Alcotest.(check int) "count" 3 (Telemetry.Histogram.count h);
+  Alcotest.(check int) "max" max_int (Telemetry.Histogram.max_value h);
+  let buckets =
+    Option.bind
+      (Json.find "histograms" (Telemetry.to_json (Telemetry.snapshot t)))
+      (Json.find "sizes")
+    |> Fun.flip Option.bind (Json.find "buckets")
+    |> Option.get
+  in
+  Alcotest.(check (option int))
+    "2^30 in the last real bucket" (Some 1)
+    (Json.find_int (string_of_int (1 lsl 30)) buckets);
+  Alcotest.(check (option int))
+    "everything above in the overflow bucket" (Some 2)
+    (Json.find_int (string_of_int (1 lsl 31)) buckets);
+  let text = Format.asprintf "%a" Telemetry.pp_text (Telemetry.snapshot t) in
+  let contains needle hay =
+    let n = String.length needle and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "+Inf line is cumulative" true
+    (contains "shex_sizes_bucket{le=\"+Inf\"} 3" text)
+
+(* Prometheus exposition hygiene: metric names sanitize to
+   [a-zA-Z0-9_:], label values escape backslash, quote and newline. *)
+let test_exposition_sanitization () =
+  let t = Telemetry.create () in
+  Telemetry.Counter.incr
+    (Telemetry.counter t ~help:"Weird \"name\"\nwith escapes"
+       "weird metric-name!");
+  let fam = Telemetry.counter_family t ~key:"shape key" "by shape" in
+  Telemetry.Counter.add
+    (Telemetry.labelled fam "quoted \"label\" with \\ and \nnewline")
+    2;
+  let text = Format.asprintf "%a" Telemetry.pp_text (Telemetry.snapshot t) in
+  let contains needle hay =
+    let n = String.length needle and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "metric name sanitized" true
+    (contains "shex_weird_metric_name_ 1" text);
+  Alcotest.(check bool) "help escapes the newline" true
+    (contains "# HELP shex_weird_metric_name_ Weird \"name\"\\nwith escapes"
+       text);
+  Alcotest.(check bool) "label key sanitized, value escaped" true
+    (contains
+       "shex_by_shape{shape_key=\"quoted \\\"label\\\" with \\\\ and \
+        \\nnewline\"} 2"
+       text);
+  (* No raw newline may survive inside any exposition line. *)
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         Alcotest.(check bool)
+           (Printf.sprintf "line %S has no stray quote-escape breakage" line)
+           false
+           (String.length line > 0 && line.[String.length line - 1] = '\\'))
+
+(* ------------------------------------------------------------------ *)
 (* Exact engine counters                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -321,7 +504,15 @@ let suites =
         Alcotest.test_case "spans and event sink" `Quick test_span_and_events;
         Alcotest.test_case "merge-then-reset round-trips" `Quick
           test_merge_reset_roundtrip;
-        Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff
+        Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+        Alcotest.test_case "labelled families" `Quick test_labelled_basics;
+        Alcotest.test_case "labelled merge and reset interleavings" `Quick
+          test_labelled_merge_reset;
+        Alcotest.test_case "labelled diff" `Quick test_labelled_diff;
+        Alcotest.test_case "histogram overflow edge at 2^30" `Quick
+          test_histogram_overflow_edge;
+        Alcotest.test_case "exposition sanitization and escaping" `Quick
+          test_exposition_sanitization
       ] );
     ( "telemetry.engines",
       [ Alcotest.test_case "derivative steps are linear" `Quick
