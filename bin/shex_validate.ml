@@ -477,15 +477,42 @@ let run_validate schema_path data_path node_opt shape_opt shape_map_opt
 (* Library errors (bad IRIs, out-of-fragment schemas, filesystem
    trouble) must surface as one-line diagnostics with exit code 2,
    not as raw backtraces through cmdliner's catch-all. *)
-let validate_cmd oracle serve schema_path data_path node_opt shape_opt
+(* Offline journal analysis: no daemon involved, just the reader. *)
+let journal_replay_cmd path ~json =
+  match Obs.Replay.analyze path with
+  | Error msg -> failwith msg
+  | Ok report ->
+      if json then print_endline (Json.to_string (Obs.Replay.to_json report))
+      else Format.printf "%a" Obs.Replay.pp report;
+      exit 0
+
+(* A curl-free scrape: print the body, exit 0 on 2xx, 1 otherwise —
+   so cram tests can probe /health, /ready, /metrics with the binary
+   under test. *)
+let obs_get_cmd url =
+  match Obs.Http.get url with
+  | Error msg -> failwith msg
+  | Ok (status, body) ->
+      print_string body;
+      exit (if status >= 200 && status < 300 then 0 else 1)
+
+let validate_cmd oracle serve obs_port obs_interval journal journal_max_kb
+    journal_replay obs_get schema_path data_path node_opt shape_opt
     shape_map_opt engine domains profile slow_ms engine_stats metrics
     trace_json trace_chrome trace_folded explain trace show_sparql
     export_shexj json result_map quiet infer_nodes infer_label =
   try
     (match oracle with Some spec -> oracle_cmd spec | None -> ());
+    (match obs_get with Some url -> obs_get_cmd url | None -> ());
+    (match journal_replay with
+    | Some path -> journal_replay_cmd path ~json
+    | None -> ());
     if serve then
       Serve.run ?schema_path ?data_path
-        ~engine:(engine_of_choice engine) ~domains ?slow_ms ()
+        ~engine:(engine_of_choice engine) ~domains ?slow_ms ?obs_port
+        ~obs_interval ?journal_path:journal
+        ?journal_max_bytes:(Option.map (fun kb -> kb * 1024) journal_max_kb)
+        ()
     else
       run_validate schema_path data_path node_opt shape_opt shape_map_opt
         engine domains profile slow_ms engine_stats metrics trace_json
@@ -741,6 +768,71 @@ let serve_arg =
            --schema/--data preload a session; otherwise start with a \
            $(b,load) command.")
 
+let obs_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "obs-port" ] ~docv:"PORT"
+        ~doc:
+          "With $(b,--serve): answer HTTP GETs on 127.0.0.1:$(docv) — \
+           $(b,/metrics) (Prometheus exposition), $(b,/health), \
+           $(b,/ready) (503 until a schema is loaded), $(b,/slowlog) \
+           and $(b,/stats) (JSON).  $(docv) 0 lets the kernel pick; \
+           the daemon prints the bound address on stderr.  Scrapes are \
+           answered from the daemon's own select loop between \
+           commands — no extra threads or domains.")
+
+let obs_interval_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "obs-interval" ] ~docv:"SECONDS"
+        ~doc:
+          "Sampling period of the sliding SLI window and the journal \
+           tick (default 10).  0 samples after every loop wake instead \
+           of on a timer — deterministic for tests, idle-quiet \
+           otherwise.")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--serve): append one JSON record per observability \
+           tick (cumulative telemetry snapshot), plus lifecycle events \
+           and slow-check spills, to $(docv).  Rotates to $(docv).1 at \
+           $(b,--journal-max-kb), fsyncing the retired generation.  \
+           Replay offline with $(b,--journal-replay).")
+
+let journal_max_kb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "journal-max-kb" ] ~docv:"KB"
+        ~doc:"Journal rotation threshold in KiB (default 1024).")
+
+let journal_replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal-replay" ] ~docv:"FILE"
+        ~doc:
+          "Analyse a $(b,--journal) file offline (reading $(docv).1 \
+           first when a rotation left one): reconstruct per-window \
+           request/error rates and latency quantiles from consecutive \
+           ticks, list lifecycle events, and report how the daemon \
+           shut down.  $(b,--json) emits the report as JSON.")
+
+let obs_get_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-get" ] ~docv:"URL"
+        ~doc:
+          "Fetch $(docv) (plain HTTP GET) and print the response body \
+           — a minimal client for the $(b,--obs-port) endpoints where \
+           curl is unavailable.  Exits 0 on a 2xx status, 1 otherwise.")
+
 let cmd =
   let doc = "validate RDF graphs against Shape Expression schemas" in
   let man =
@@ -757,7 +849,9 @@ let cmd =
   Cmd.v
     (Cmd.info "shex-validate" ~doc ~man)
     Term.(
-      const validate_cmd $ oracle_arg $ serve_arg $ schema_arg $ data_arg
+      const validate_cmd $ oracle_arg $ serve_arg $ obs_port_arg
+      $ obs_interval_arg $ journal_arg $ journal_max_kb_arg
+      $ journal_replay_arg $ obs_get_arg $ schema_arg $ data_arg
       $ node_arg
       $ shape_arg $ shape_map_arg $ engine_arg $ domains_arg
       $ profile_arg $ slow_ms_arg

@@ -9,6 +9,12 @@ type entry = {
   node : Rdf.Term.t;
   label : Label.t;
   seconds : float;
+  at : float;
+      (* wall-clock capture time, so a dump (or a journal spill) can be
+         correlated with external logs *)
+  request : int option;
+      (* the serve request id active when the check ran — the join key
+         between a slowlog entry and the response the client saw *)
   conformant : bool;
   explain : Explain.t option;
       (* the blame set of a slow non-conformant check; [None] for
@@ -23,15 +29,22 @@ type t = {
   ring : entry option array;
   mutable next : int;  (* next write slot *)
   mutable seen : int;  (* total recorded, including evicted *)
+  mutable context : int option;  (* request id stamped onto new entries *)
 }
 
 let default_capacity = 128
 
 let create ?(capacity = default_capacity) ~threshold_ms () =
-  { threshold_ms; ring = Array.make (max 1 capacity) None; next = 0; seen = 0 }
+  { threshold_ms;
+    ring = Array.make (max 1 capacity) None;
+    next = 0;
+    seen = 0;
+    context = None }
 
 let threshold_ms t = t.threshold_ms
 let set_threshold_ms t ms = t.threshold_ms <- ms
+let context t = t.context
+let set_context t rid = t.context <- rid
 let capacity t = Array.length t.ring
 let seen t = t.seen
 let length t = min t.seen (Array.length t.ring)
@@ -64,7 +77,11 @@ let entry_to_json e =
     ([ ("node", Json.String (Rdf.Term.to_string e.node));
        ("shape", Json.String (Label.to_string e.label));
        ("ms", Json.Number (e.seconds *. 1000.));
+       ("at", Json.Number e.at);
        ("conformant", Json.Bool e.conformant) ]
+    @ (match e.request with
+      | Some rid -> [ ("request", Json.int rid) ]
+      | None -> [])
     @ (match e.explain with
       | Some ex -> [ ("reason", Json.String (Explain.to_string ex)) ]
       | None -> [])
@@ -87,6 +104,9 @@ let pp_entry ppf e =
     (Rdf.Term.to_string e.node)
     (Label.to_string e.label)
     (if e.conformant then "conformant" else "non-conformant");
+  (match e.request with
+  | Some rid -> Format.fprintf ppf " req=%d" rid
+  | None -> ());
   List.iter
     (fun (k, v) -> if v > 0 then Format.fprintf ppf " %s=%d" k v)
     e.work;

@@ -14,6 +14,12 @@ type entry = {
   node : Rdf.Term.t;
   label : Label.t;
   seconds : float;  (** wall-clock duration of the check *)
+  at : float;
+      (** wall-clock capture timestamp ([Telemetry.now] at record
+          time) — correlates a dumped entry with external logs *)
+  request : int option;
+      (** serve request id active when the check ran (the id echoed in
+          that request's response); [None] outside serve mode *)
   conformant : bool;
   explain : Explain.t option;
       (** blame set when non-conformant; [None] when conformant *)
@@ -33,6 +39,13 @@ val set_threshold_ms : t -> float -> unit
 (** Runtime-adjustable (the serve [slowlog] command sets it without
     recreating the session). *)
 
+val context : t -> int option
+
+val set_context : t -> int option -> unit
+(** Set (or clear) the request id stamped onto subsequently recorded
+    entries — the serve loop sets it around each request so slow
+    checks carry the id of the response the client saw. *)
+
 val capacity : t -> int
 
 val length : t -> int
@@ -50,7 +63,8 @@ val entries : t -> entry list
 (** Oldest first. *)
 
 val entry_to_json : entry -> Json.t
-(** [{"node", "shape", "ms", "conformant", "reason"?, "work"?}]. *)
+(** [{"node", "shape", "ms", "at", "conformant", "request"?,
+    "reason"?, "work"?}]. *)
 
 val to_json : t -> Json.t
 (** [{"threshold_ms", "capacity", "seen", "entries": [...]}]. *)

@@ -408,9 +408,9 @@ let profiled_run st p n l run () =
   and cs0 = p.charged_sorbe
   and cc0 = p.charged_compiled
   and ct0 = p.charged_seconds in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.now () in
   Fun.protect run ~finally:(fun () ->
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = max 0. (Telemetry.now () -. t0) in
       let self total before charged0 charged_now =
         total - before - (charged_now - charged0)
       in
@@ -757,12 +757,17 @@ let slow_delta st before =
 
 let slow_capture st slog n l f ~conformant ~explain_of =
   let before = slow_values st in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.now () in
   let result = f () in
-  let dt = Unix.gettimeofday () -. t0 in
+  let t1 = Telemetry.now () in
+  (* Wall clock, so a backwards NTP step can make [t1 < t0]; clamping
+     keeps a clock step from recording a nonsense negative duration
+     (it can still hide one genuinely slow check — acceptable). *)
+  let dt = if t1 > t0 then t1 -. t0 else 0. in
   if dt *. 1000. >= Slowlog.threshold_ms slog then
     Slowlog.record slog
-      { Slowlog.node = n; label = l; seconds = dt;
+      { Slowlog.node = n; label = l; seconds = dt; at = t1;
+        request = Slowlog.context slog;
         conformant = conformant result; explain = explain_of result;
         work = slow_delta st before };
   result

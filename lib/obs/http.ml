@@ -1,0 +1,252 @@
+(* A deliberately minimal HTTP/1.1 server for the scrape endpoints:
+   bind once, then let the daemon's select loop call [serve_ready]
+   whenever the listening socket is readable.  Each connection carries
+   one GET, gets one Connection: close response, and is closed — the
+   request pattern of a Prometheus scraper or a health probe, which is
+   all this surface exists for.  No keep-alive, no pipelining, no
+   request bodies; a client that sends anything slower than one small
+   request hits the per-connection receive timeout rather than
+   stalling the daemon. *)
+
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+let json ?(status = 200) j =
+  { status;
+    content_type = "application/json";
+    body = Json.to_string ~minify:true j ^ "\n" }
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  read_timeout : float;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let create ?(backlog = 16) ?(read_timeout = 2.0) ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     (* Loopback only: the scrape surface carries operational data and
+        has no authentication — exposing it beyond the host is a
+        deployment decision for a reverse proxy, not a default. *)
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock backlog
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p  (* resolves port 0 to the kernel's pick *)
+    | Unix.ADDR_UNIX _ -> port
+  in
+  { sock; port; read_timeout }
+
+let port t = t.port
+let fd t = t.sock
+
+let close t = try Unix.close t.sock with Unix.Unix_error _ -> ()
+
+(* Read until the end of the request head (CRLFCRLF) or a size/time
+   bound.  GETs have no body, so the head is the whole request. *)
+let read_request fd timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0. || Buffer.length buf > 8192 then None
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> None
+      | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> if Buffer.length buf > 0 then Some (Buffer.contents buf) else None
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              let s = Buffer.contents buf in
+              (* A bare LF-terminated request line is enough: some
+                 probes (printf | nc) skip the CR. *)
+              let have_head sep =
+                let sl = String.length sep and l = String.length s in
+                let rec scan i =
+                  i + sl <= l && (String.sub s i sl = sep || scan (i + 1))
+                in
+                scan 0
+              in
+              if have_head "\r\n\r\n" || have_head "\n\n" then Some s
+              else go ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) ->
+              go ()
+          | exception Unix.Unix_error (_, _, _) -> None)
+  in
+  go ()
+
+(* "GET /path HTTP/1.1" -> `GET "/path"; query strings are stripped
+   (the endpoints take no parameters today). *)
+let parse_request_line head =
+  let line =
+    match String.index_opt head '\n' with
+    | Some i -> String.trim (String.sub head 0 i)
+    | None -> String.trim head
+  in
+  match String.split_on_char ' ' line with
+  | meth :: target :: _ ->
+      let path =
+        match String.index_opt target '?' with
+        | Some i -> String.sub target 0 i
+        | None -> target
+      in
+      Some (meth, path)
+  | _ -> None
+
+let write_response fd r =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      r.status (reason r.status) r.content_type (String.length r.body)
+  in
+  let payload = head ^ r.body in
+  let len = String.length payload in
+  let bytes = Bytes.of_string payload in
+  let rec go off =
+    if off < len then
+      match Unix.write fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  (* EPIPE/ECONNRESET: the scraper hung up mid-response.  Its loss. *)
+  try go 0 with Unix.Unix_error _ -> ()
+
+(* A one-shot GET client for [http://HOST:PORT/path] URLs — just
+   enough to let the cram tests (and an operator without curl) poke
+   the scrape surface with the binary they already have. *)
+let get url =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match
+    let rest =
+      let prefix = "http://" in
+      let pl = String.length prefix in
+      if String.length url > pl && String.sub url 0 pl = prefix then
+        Some (String.sub url pl (String.length url - pl))
+      else None
+    in
+    match rest with
+    | None -> None
+    | Some rest ->
+        let authority, path =
+          match String.index_opt rest '/' with
+          | Some i ->
+              ( String.sub rest 0 i,
+                String.sub rest i (String.length rest - i) )
+          | None -> (rest, "/")
+        in
+        let host, port =
+          match String.index_opt authority ':' with
+          | Some i -> (
+              let h = String.sub authority 0 i in
+              let p = String.sub authority (i + 1)
+                        (String.length authority - i - 1) in
+              match int_of_string_opt p with
+              | Some p -> ((if h = "" then "127.0.0.1" else h), Some p)
+              | None -> (h, None))
+          | None -> (authority, Some 80)
+        in
+        Option.map (fun p -> (host, p, path)) port
+  with
+  | None -> fail "bad URL %S (expected http://HOST:PORT/path)" url
+  | Some (host, port, path) -> (
+      match
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+            | h -> h.Unix.h_addr_list.(0))
+        in
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close sock with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect sock (Unix.ADDR_INET (addr, port));
+            let req =
+              Printf.sprintf
+                "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+                path host
+            in
+            let bytes = Bytes.of_string req in
+            let rec send off =
+              if off < Bytes.length bytes then
+                send (off + Unix.write sock bytes off (Bytes.length bytes - off))
+            in
+            send 0;
+            let buf = Buffer.create 4096 in
+            let chunk = Bytes.create 4096 in
+            let rec recv () =
+              match Unix.read sock chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  recv ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+            in
+            recv ();
+            Buffer.contents buf)
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          fail "%s: %s" url (Unix.error_message e)
+      | exception Not_found -> fail "%s: unknown host" url
+      | raw -> (
+          let head_end =
+            let rec scan i =
+              if i + 4 > String.length raw then None
+              else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+              else scan (i + 1)
+            in
+            scan 0
+          in
+          match head_end with
+          | None -> fail "%s: truncated response" url
+          | Some body_at -> (
+              let status_line =
+                match String.index_opt raw '\r' with
+                | Some i -> String.sub raw 0 i
+                | None -> raw
+              in
+              match String.split_on_char ' ' status_line with
+              | _http :: code :: _ when int_of_string_opt code <> None ->
+                  Ok
+                    ( Option.get (int_of_string_opt code),
+                      String.sub raw body_at (String.length raw - body_at) )
+              | _ -> fail "%s: malformed status line %S" url status_line)))
+
+let serve_ready t route =
+  match Unix.accept t.sock with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ()
+  | client, _addr ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close client with Unix.Unix_error _ -> ())
+        (fun () ->
+          match read_request client t.read_timeout with
+          | None -> write_response client (text ~status:400 "bad request\n")
+          | Some head -> (
+              match parse_request_line head with
+              | None ->
+                  write_response client (text ~status:400 "bad request\n")
+              | Some (("GET" | "HEAD"), path) ->
+                  write_response client (route path)
+              | Some _ ->
+                  write_response client
+                    (text ~status:405 "only GET is served here\n")))

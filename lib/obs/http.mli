@@ -1,0 +1,51 @@
+(** A minimal HTTP/1.1 GET server for the daemon's scrape surface
+    ([--obs-port]): [/metrics], [/health], [/ready], [/slowlog],
+    [/stats].
+
+    Zero dependencies beyond stdlib [Unix], and deliberately tiny: the
+    listener binds loopback only, answers exactly one GET per
+    connection with [Connection: close], and is driven from the
+    daemon's own [Unix.select] loop — {!fd} joins the read set next to
+    stdin, and the loop calls {!serve_ready} when it fires, so the
+    daemon stays single-domain and requests never interleave with
+    validation work.  Slow or stuck clients are bounded by a
+    per-connection receive timeout instead of blocking the daemon. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+(** [text/plain; charset=utf-8] (status defaults to 200). *)
+
+val json : ?status:int -> Json.t -> response
+(** [application/json], minified, newline-terminated. *)
+
+type t
+
+val create : ?backlog:int -> ?read_timeout:float -> port:int -> unit -> t
+(** Bind and listen on [127.0.0.1:port] ([port = 0] lets the kernel
+    pick — read the result back with {!port}).  [read_timeout]
+    (default 2 s) bounds how long one accepted connection may take to
+    deliver its request head.  Raises [Unix.Unix_error] when the bind
+    fails (port taken, permission). *)
+
+val port : t -> int
+(** The bound port — meaningful after [create ~port:0]. *)
+
+val fd : t -> Unix.file_descr
+(** The listening socket, for the caller's [Unix.select] read set. *)
+
+val serve_ready : t -> (string -> response) -> unit
+(** Accept one pending connection and answer it: read the request
+    head, resolve the path (query string stripped) through the route
+    callback, write the response, close.  Call when {!fd} selected
+    readable.  Malformed or slow requests get 400, non-GET methods
+    405; a client that disconnects mid-write is ignored (the caller
+    must ignore [SIGPIPE] — the daemon sets this up). *)
+
+val close : t -> unit
+
+val get : string -> (int * string, string) result
+(** One-shot client: [get "http://127.0.0.1:9090/metrics"] returns
+    [(status, body)].  Blocking, [Connection: close], no redirects —
+    the [--obs-get] flag behind the cram tests, and a curl substitute
+    for operators without one. *)

@@ -1,0 +1,41 @@
+(** Offline journal analysis ([--journal-replay FILE]): reconstruct
+    the daemon's rate and latency time series from a flight-recorder
+    journal, window by window.
+
+    Reads the retired generation ([FILE.1], when present) followed by
+    the live one, so a series that spans a rotation replays seamlessly
+    — tick records carry {e cumulative} telemetry precisely so the
+    diff needs only record order, not file boundaries.  Malformed
+    lines (the torn final line of a crashed daemon) are skipped and
+    counted, never fatal. *)
+
+type window_row = {
+  r_ts : float;  (** timestamp of the newer tick *)
+  r_seconds : float;  (** wall time between the two ticks *)
+  r_requests : float;  (** requests per second in this window *)
+  r_errors : float;
+  r_rates : (string * float) list;
+      (** per-second rate of every monotone counter *)
+  r_lat : Telemetry.Window.quantiles option;
+      (** request-latency p50/p99 (µs) from histogram-bucket diffs;
+          [None] when no request completed in the window *)
+}
+
+type report = {
+  files : string list;  (** generations read, oldest first *)
+  lines : int;
+  skipped : int;  (** malformed / non-record lines *)
+  ticks : int;
+  events : (string * int) list;  (** non-tick record kinds, with counts *)
+  started : float option;  (** first [start] record's timestamp *)
+  shutdown : string option;  (** last [shutdown] record's reason *)
+  windows : window_row list;
+}
+
+val analyze : string -> (report, string) result
+(** [Error] only when the journal file itself is missing. *)
+
+val to_json : report -> Json.t
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable summary plus a per-window table. *)

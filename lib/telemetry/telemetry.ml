@@ -1,3 +1,17 @@
+(* The wall clock every instrument reads.  Overridable ([set_clock])
+   so tests can inject a stepping — or backwards-stepping — clock;
+   production always runs on [Unix.gettimeofday], which is NOT
+   monotonic: an NTP step can move it backwards, so every consumer
+   below clamps negative deltas to zero rather than corrupting its
+   accumulated totals. *)
+let wall_clock : (unit -> float) ref = ref Unix.gettimeofday
+
+let now () = !wall_clock ()
+
+let set_clock = function
+  | Some f -> wall_clock := f
+  | None -> wall_clock := Unix.gettimeofday
+
 module Counter = struct
   type kind = Monotonic | Gauge
 
@@ -63,10 +77,13 @@ module Span = struct
   let time s f =
     if not s.active then f ()
     else begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = now () in
       Fun.protect
         ~finally:(fun () ->
-          s.total <- s.total +. (Unix.gettimeofday () -. t0);
+          (* Clamp: gettimeofday is wall time, and a clock step during
+             the section would otherwise subtract from the total. *)
+          let dt = now () -. t0 in
+          s.total <- s.total +. (if dt < 0. then 0. else dt);
           s.count <- s.count + 1)
         f
     end
@@ -685,3 +702,144 @@ let pp_text ppf s =
           Format.fprintf ppf "shex_%s_seconds_sum{%s} %.6f@." m l total)
         d.l_cells)
     s.s_lspans
+
+(* ------------------------------------------------------------------ *)
+(* Sliding-window SLIs                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A ring of periodically sampled snapshots.  The window never touches
+   the live registry: the owner (the serve daemon's tick) snapshots and
+   [observe]s; [summary] then diffs the oldest retained sample against
+   the newest, turning cumulative-since-boot counters into rolling
+   rates and cumulative histograms into windowed quantile estimates.
+   With [slots] samples at one [interval_s] apart the window covers
+   roughly [slots * interval_s] seconds of history. *)
+module Window = struct
+  type t = {
+    w_interval : float;
+    ring : (float * snapshot) option array;
+    mutable next : int;  (* next write slot *)
+    mutable count : int;  (* samples retained, <= Array.length ring *)
+  }
+
+  let default_slots = 60
+
+  let create ?(slots = default_slots) ~interval_s () =
+    { w_interval = interval_s;
+      ring = Array.make (max 2 slots) None;
+      next = 0;
+      count = 0 }
+
+  let slots w = Array.length w.ring
+  let interval_s w = w.w_interval
+  let samples w = w.count
+
+  let observe w ~now:t snap =
+    w.ring.(w.next) <- Some (t, snap);
+    w.next <- (w.next + 1) mod Array.length w.ring;
+    if w.count < Array.length w.ring then w.count <- w.count + 1
+
+  (* Nearest-rank quantile over log2 buckets: the smallest bucket bound
+     [le] whose cumulative count reaches rank ceil(p * total).  Bucket
+     counts are exact per-bucket observation counts, so the chosen
+     bucket is exactly the one holding the rank-th smallest
+     observation — the estimate errs only within that bucket, i.e. the
+     true quantile q satisfies le/2 < q <= le (q <= 1 for le = 1).
+     [buckets] must be ascending (le, count) pairs as in snapshots. *)
+  let quantile buckets ~total p =
+    if total <= 0 then 0
+    else
+      let rank =
+        let r = int_of_float (ceil (p *. float_of_int total)) in
+        if r < 1 then 1 else if r > total then total else r
+      in
+      let rec go cum = function
+        | [] -> 0
+        | [ (le, _) ] -> le
+        | (le, n) :: rest -> if cum + n >= rank then le else go (cum + n) rest
+      in
+      go 0 buckets
+
+  type quantiles = { q_count : int; q_p50 : int; q_p99 : int }
+
+  type summary = {
+    w_seconds : float;  (* wall time the window spans *)
+    w_samples : int;
+    w_rates : (string * float) list;  (* counter deltas / w_seconds *)
+    w_quantiles : (string * quantiles) list;  (* per histogram *)
+  }
+
+  let summary w =
+    if w.count < 2 then None
+    else
+      let n = Array.length w.ring in
+      let newest = w.ring.((w.next + n - 1) mod n)
+      and oldest =
+        w.ring.(if w.count = n then w.next else 0)
+      in
+      match (oldest, newest) with
+      | Some (t0, s0), Some (t1, s1) when t1 > t0 ->
+          let d = diff ~since:s0 s1 in
+          let seconds = t1 -. t0 in
+          Some
+            { w_seconds = seconds;
+              w_samples = w.count;
+              w_rates =
+                List.map
+                  (fun (name, v) -> (name, float_of_int v /. seconds))
+                  d.s_counters;
+              w_quantiles =
+                List.filter_map
+                  (fun (name, h) ->
+                    if h.h_count <= 0 then None
+                    else
+                      Some
+                        ( name,
+                          { q_count = h.h_count;
+                            q_p50 = quantile h.h_buckets ~total:h.h_count 0.5;
+                            q_p99 = quantile h.h_buckets ~total:h.h_count 0.99
+                          } ))
+                  d.s_histograms }
+      | _ -> None
+
+  let summary_to_json s =
+    Json.Object
+      [ ("seconds", Json.Number s.w_seconds);
+        ("samples", Json.int s.w_samples);
+        ( "rates",
+          Json.Object
+            (List.map (fun (n, r) -> (n, Json.Number r)) s.w_rates) );
+        ( "quantiles",
+          Json.Object
+            (List.map
+               (fun (n, q) ->
+                 ( n,
+                   Json.Object
+                     [ ("count", Json.int q.q_count);
+                       ("p50", Json.int q.q_p50);
+                       ("p99", Json.int q.q_p99) ] ))
+               s.w_quantiles) ) ]
+
+  (* Appended after the registry's own exposition: derived gauges only,
+     names suffixed so they can never collide with a live instrument
+     ([_rate] per second, [_p50]/[_p99] in the histogram's own unit). *)
+  let pp_prometheus ppf s =
+    let gauge name pp_v =
+      let m = sanitize_name name in
+      Format.fprintf ppf "# TYPE shex_%s gauge@." m;
+      Format.fprintf ppf "shex_%s %t@." m pp_v
+    in
+    gauge "obs_window_seconds" (fun ppf ->
+        Format.fprintf ppf "%.3f" s.w_seconds);
+    gauge "obs_window_samples" (fun ppf ->
+        Format.fprintf ppf "%d" s.w_samples);
+    List.iter
+      (fun (name, r) ->
+        gauge (name ^ "_rate") (fun ppf -> Format.fprintf ppf "%.6f" r))
+      s.w_rates;
+    List.iter
+      (fun (name, q) ->
+        gauge (name ^ "_p50") (fun ppf -> Format.fprintf ppf "%d" q.q_p50);
+        gauge (name ^ "_p99") (fun ppf -> Format.fprintf ppf "%d" q.q_p99))
+      s.w_quantiles
+end

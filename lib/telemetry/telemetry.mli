@@ -95,6 +95,26 @@ module Span : sig
   val total : t -> float
 end
 
+(** {1 The wall clock}
+
+    {b Caveat.}  All span timing uses the {e wall} clock
+    ([Unix.gettimeofday]), which is not monotonic: an NTP step (or a
+    VM pause with clock resync) can move it backwards mid-section.
+    Every consumer in this library — {!Span.time}, {!Span.record}, the
+    slow-check timer in [Shex.Validate] — clamps negative deltas to
+    zero, so a backwards step loses that one reading's duration but
+    can never corrupt an accumulated total or spuriously trigger (or
+    suppress) a slow-check capture with a negative duration. *)
+
+val now : unit -> float
+(** The current reading of the (possibly test-injected) wall clock. *)
+
+val set_clock : (unit -> float) option -> unit
+(** Override the wall clock every instrument reads — for tests that
+    need a deterministic (or deliberately backwards-stepping) clock.
+    [None] restores [Unix.gettimeofday].  Global; not for production
+    use. *)
+
 val counter : t -> ?help:string -> string -> Counter.t
 val gauge : t -> ?help:string -> string -> Counter.t
 val histogram : t -> ?help:string -> string -> Histogram.t
@@ -256,6 +276,70 @@ val to_json : snapshot -> Json.t
     at least one labelled family exists a trailing ["labelled"] member
     nests them as [{"counters"|"histograms"|"spans":
     {family: {"key": label-key, "cells": {label: reading}}}}]. *)
+
+(** {1 Sliding-window SLIs}
+
+    A bounded ring of periodically sampled snapshots, from which
+    rolling {e rates} (counter deltas over the window's wall time) and
+    windowed {e latency quantiles} (estimated from histogram-bucket
+    diffs) are derived — the service-level indicators a scraper reads
+    from a long-running daemon whose raw counters are all
+    cumulative-since-boot.  The window owns nothing live: its owner
+    samples {!snapshot} on a timer and calls {!Window.observe}. *)
+
+module Window : sig
+  type t
+
+  val default_slots : int
+  (** 60 — ten minutes of history at the default 10 s interval. *)
+
+  val create : ?slots:int -> interval_s:float -> unit -> t
+  (** A ring of [slots] samples (minimum 2).  [interval_s] is the
+      sampling period the owner intends; the window only records it
+      (for reporting) — the owner drives the actual sampling. *)
+
+  val slots : t -> int
+  val interval_s : t -> float
+
+  val samples : t -> int
+  (** Samples currently retained (saturates at [slots]). *)
+
+  val observe : t -> now:float -> snapshot -> unit
+  (** Push one sample, evicting the oldest when full. *)
+
+  val quantile : (int * int) list -> total:int -> float -> int
+  (** [quantile buckets ~total p] — nearest-rank p-quantile estimate
+      over ascending log2 [(le, count)] buckets: the bound [le] of the
+      bucket holding the rank-⌈p·total⌉ observation.  The estimate is
+      exact up to the bucket: the true quantile [q] satisfies
+      [le/2 < q <= le] (or [q <= 1] when [le = 1]) — a factor-of-two
+      bound, the documented resolution of log2 histograms.  [0] when
+      [total <= 0]. *)
+
+  type quantiles = { q_count : int; q_p50 : int; q_p99 : int }
+
+  type summary = {
+    w_seconds : float;  (** wall time between oldest and newest sample *)
+    w_samples : int;
+    w_rates : (string * float) list;
+        (** per-second rate of every monotone counter over the window *)
+    w_quantiles : (string * quantiles) list;
+        (** windowed p50/p99 {!quantile} estimates of every histogram
+            that recorded observations inside the window *)
+  }
+
+  val summary : t -> summary option
+  (** [None] until two samples with distinct timestamps exist. *)
+
+  val summary_to_json : summary -> Json.t
+
+  val pp_prometheus : Format.formatter -> summary -> unit
+  (** Derived gauges in exposition format, intended to be appended
+      after {!pp_text}: [shex_obs_window_seconds]/[_samples], one
+      [shex_<counter>_rate] per counter and [shex_<histogram>_p50]/
+      [_p99] per active histogram.  The suffixes keep the names
+      disjoint from live instruments. *)
+end
 
 val pp_text : Format.formatter -> snapshot -> unit
 (** Prometheus-style text exposition: [# HELP] (when registered) and

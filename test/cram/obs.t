@@ -1,0 +1,119 @@
+The network observability plane of the --serve daemon: the HTTP
+scrape surface (--obs-port), the flight-recorder journal (--journal),
+and the offline replay analyzer (--journal-replay).  Same fixture as
+serve.t:
+
+  $ cat > person.shex <<'SCHEMA'
+  > PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+  > PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+  > <Person> {
+  >   foaf:age xsd:integer
+  >   , foaf:name xsd:string+
+  >   , foaf:knows @<Person>*
+  > }
+  > SCHEMA
+
+  $ cat > people.ttl <<'DATA'
+  > @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+  > @prefix : <http://example.org/> .
+  > :john foaf:age 23; foaf:name "John"; foaf:knows :bob .
+  > :bob foaf:age 34; foaf:name "Bob", "Robert" .
+  > :mary foaf:age 50, 65 .
+  > DATA
+
+Boot the daemon with the obs plane armed: port 0 lets the kernel pick
+(the bound address is announced on stderr), interval 0 makes the SLI
+window and journal tick after every loop wake (deterministic, no
+timers), and stdin is a held-open fifo so the daemon outlives this
+shell's commands.  --slow-ms 0 arms the slowlog so we can watch a
+slow check spill into the journal with its request id:
+
+  $ mkfifo ctl
+  $ shex-validate --serve --schema person.shex --data people.ttl \
+  >   --obs-port 0 --obs-interval 0 --journal j.jsonl --slow-ms 0 \
+  >   <ctl >replies.log 2>err.log & DPID=$!
+  $ exec 9>ctl
+  $ PORT=''; for i in $(seq 1 150); do \
+  >   PORT=$(sed -n 's#.*127\.0\.0\.1:##p' err.log); \
+  >   [ -n "$PORT" ] && break; sleep 0.1; done
+  $ test -n "$PORT" && echo bound
+  bound
+
+Liveness and readiness (a schema was preloaded, so /ready is 200;
+--obs-get is the binary's built-in GET client, exit 1 on non-2xx):
+
+  $ shex-validate --obs-get "http://127.0.0.1:$PORT/health"
+  ok
+  $ shex-validate --obs-get "http://127.0.0.1:$PORT/ready"
+  ready
+
+Serve one protocol command through the fifo — mary is
+non-conformant, and with threshold 0 her check lands in the slowlog
+carrying this request's id:
+
+  $ echo '{"cmd":"query","node":"http://example.org/mary","shape":"Person"}' >&9
+  $ for i in $(seq 1 150); do grep -q request replies.log && break; sleep 0.1; done
+  $ cat replies.log
+  {"ok":true,"node":"<http://example.org/mary>","shape":"Person","conformant":false,"request":1}
+
+The Prometheus exposition over TCP: protocol requests (not scrapes)
+count into shex_serve_requests, and once the window holds two samples
+the derived SLI gauges — per-counter _rate and the windowed latency
+quantiles with their factor-of-two bucket bound — ride along:
+
+  $ shex-validate --obs-get "http://127.0.0.1:$PORT/metrics" > exposition.txt
+  $ grep -E '^shex_serve_requests ' exposition.txt
+  shex_serve_requests 1
+  $ grep -E '^shex_serve_errors ' exposition.txt
+  shex_serve_errors 0
+  $ grep -c '^shex_serve_latency_us_bucket' exposition.txt > /dev/null && echo histogram-exposed
+  histogram-exposed
+  $ grep -cE '^shex_serve_requests_rate ' exposition.txt
+  1
+  $ grep -cE '^shex_serve_latency_us_p(50|99) ' exposition.txt
+  2
+
+/slowlog and /stats answer JSON; the slow entry is correlated to
+request 1:
+
+  $ shex-validate --obs-get "http://127.0.0.1:$PORT/slowlog" | grep -o '"request":1'
+  "request":1
+  $ shex-validate --obs-get "http://127.0.0.1:$PORT/stats" | grep -o '"requests":1'
+  "requests":1
+
+Unknown paths get a 404 (and exit 1 from the client):
+
+  $ shex-validate --obs-get "http://127.0.0.1:$PORT/nope"
+  not found
+  [1]
+
+Graceful shutdown: SIGTERM makes the daemon write a final tick and a
+shutdown record, fsync the journal, close the socket, and exit 0:
+
+  $ kill -TERM $DPID
+  $ wait $DPID
+  $ grep -c '"kind":"start"' j.jsonl
+  1
+  $ grep -q '"kind":"slow"' j.jsonl && echo slow-spilled
+  slow-spilled
+  $ grep -o '"kind":"shutdown","ts":[0-9.]*,"reason":"sigterm"' j.jsonl | sed 's/"ts":[0-9.]*/"ts":_/'
+  "kind":"shutdown","ts":_,"reason":"sigterm"
+
+Offline replay reconstructs the rate/latency series from the
+journal's cumulative ticks (timestamps and rates are wall-clock
+dependent, so only structure is checked here):
+
+  $ shex-validate --journal-replay j.jsonl | grep '^journal:'
+  journal: j.jsonl
+  $ shex-validate --journal-replay j.jsonl | grep '^shutdown:'
+  shutdown: sigterm
+  $ shex-validate --journal-replay j.jsonl | grep -c 'p50_us'
+  1
+  $ shex-validate --journal-replay j.jsonl --json | grep -o '"shutdown": "sigterm"'
+  "shutdown": "sigterm"
+
+Replaying a journal that does not exist is a plain error:
+
+  $ shex-validate --journal-replay does-not-exist.jsonl
+  error: journal not found: does-not-exist.jsonl
+  [2]

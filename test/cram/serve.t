@@ -23,8 +23,9 @@ One JSON command per stdin line, one JSON response per stdout line.
 Deleting bob's age invalidates exactly the dependency frontier of the
 edit — bob and, through john's `knows @<Person>` reference, john, but
 never mary — and the response lists the verdicts the delta flipped.
-Re-inserting the triple flips them back.  EOF ends the daemon with
-exit 0:
+Re-inserting the triple flips them back.  Every JSON response ends
+with the daemon's monotonic request id ("error:" lines stay bare, and
+errors still consume an id).  EOF ends the daemon with exit 0:
 
   $ shex-validate --serve --schema person.shex --data people.ttl <<'EOF'
   > {"cmd":"query","node":"http://example.org/john","shape":"Person"}
@@ -34,12 +35,12 @@ exit 0:
   > {"cmd":"insert","triples":"<http://example.org/bob> <http://xmlns.com/foaf/0.1/age> 34 ."}
   > {"cmd":"query","node":"http://example.org/john","shape":"Person"}
   > EOF
-  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true}
-  {"ok":true,"node":"<http://example.org/mary>","shape":"Person","conformant":false}
-  {"ok":true,"applied":1,"frontier":2,"resolved":2,"changed":[{"node":"<http://example.org/john>","shape":"Person","conformant":false},{"node":"<http://example.org/bob>","shape":"Person","conformant":false}]}
-  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":false}
-  {"ok":true,"applied":1,"frontier":2,"resolved":2,"changed":[{"node":"<http://example.org/john>","shape":"Person","conformant":true},{"node":"<http://example.org/bob>","shape":"Person","conformant":true}]}
-  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true}
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true,"request":1}
+  {"ok":true,"node":"<http://example.org/mary>","shape":"Person","conformant":false,"request":2}
+  {"ok":true,"applied":1,"frontier":2,"resolved":2,"changed":[{"node":"<http://example.org/john>","shape":"Person","conformant":false},{"node":"<http://example.org/bob>","shape":"Person","conformant":false}],"request":3}
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":false,"request":4}
+  {"ok":true,"applied":1,"frontier":2,"resolved":2,"changed":[{"node":"<http://example.org/john>","shape":"Person","conformant":true},{"node":"<http://example.org/bob>","shape":"Person","conformant":true}],"request":5}
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true,"request":6}
 
 A session can also start empty and be loaded over the protocol; no-op
 edits (deleting an absent triple) apply nothing and invalidate
@@ -50,9 +51,9 @@ nothing:
   > {"cmd":"delete","triples":"<http://example.org/nobody> <http://xmlns.com/foaf/0.1/age> 99 ."}
   > {"cmd":"shutdown"}
   > EOF
-  {"ok":true,"shapes":1,"triples":8}
-  {"ok":true,"applied":0,"frontier":0,"resolved":0,"changed":[]}
-  {"ok":true}
+  {"ok":true,"shapes":1,"triples":8,"request":1}
+  {"ok":true,"applied":0,"frontier":0,"resolved":0,"changed":[],"request":2}
+  {"ok":true,"request":3}
 
 Malformed commands — broken JSON, unknown commands, missing members,
 commands before any schema is loaded, unparsable triples, unknown
@@ -64,7 +65,7 @@ collection counts) ahead of the telemetry snapshot; everything
 wall-clock- or allocation-dependent is normalised here:
 
   $ shex-validate --serve --schema person.shex --data people.ttl <<'EOF' \
-  >   | sed -E 's/"seconds":[0-9.e+-]+/"seconds":_/g; s/"(heap_words|minor_collections|major_collections)":[0-9]+/"\1":_/g'
+  >   | sed -E 's/"seconds":[0-9.e+-]+/"seconds":_/g; s/"(heap_words|minor_collections|major_collections)":[0-9]+/"\1":_/g; s/"serve_latency_us":\{[^}]*\}\}/"serve_latency_us":_/g'
   > not json at all
   > {"nocmd":true}
   > {"cmd":"frobnicate"}
@@ -80,18 +81,21 @@ wall-clock- or allocation-dependent is normalised here:
   error: missing "triples" member (Turtle text)
   error: triples: lexical error at 1:5: expected ':' after "this"
   error: unknown shape label "Nope" (known: Person)
-  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true}
-  {"ok":true,"uptime":{"seconds":_,"requests":8},"resources":{"heap_words":_,"minor_collections":_,"major_collections":_},"metrics":{"counters":{"backtrack_branches":0,"backtrack_decompositions":0,"deriv_steps":6,"fixpoint_demands":2,"fixpoint_flips":0,"fixpoint_iterations":2,"incremental_deltas":0,"incremental_edits":0,"incremental_full_resets":0,"incremental_invalidated":0,"incremental_resolved":0,"serve_errors":6,"serve_requests":8,"sorbe_counter_updates":0,"sorbe_matches":0},"gauges":{},"histograms":{"deriv_size_after":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"deriv_size_before":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"incremental_frontier_size":{"count":0,"sum":0,"max":0,"buckets":{}}},"spans":{"incremental_apply":{"count":0,"seconds":_},"serve_request":{"count":7,"seconds":_}}}}
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true,"request":7}
+  {"ok":true,"uptime":{"seconds":_,"requests":8},"resources":{"heap_words":_,"minor_collections":_,"major_collections":_},"metrics":{"counters":{"backtrack_branches":0,"backtrack_decompositions":0,"deriv_steps":6,"fixpoint_demands":2,"fixpoint_flips":0,"fixpoint_iterations":2,"incremental_deltas":0,"incremental_edits":0,"incremental_full_resets":0,"incremental_invalidated":0,"incremental_resolved":0,"serve_errors":6,"serve_requests":8,"sorbe_counter_updates":0,"sorbe_matches":0},"gauges":{},"histograms":{"deriv_size_after":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"deriv_size_before":{"count":6,"sum":48,"max":9,"buckets":{"8":3,"16":3}},"incremental_frontier_size":{"count":0,"sum":0,"max":0,"buckets":{}},"serve_latency_us":_},"spans":{"incremental_apply":{"count":0,"seconds":_},"serve_request":{"count":7,"seconds":_}}},"request":8}
 
 Slow-validation capture: started with --slow-ms 0 every check lands
 in the ring buffer with its verdict, failure reason and work-counter
 deltas.  The slowlog command dumps the buffer; "threshold_ms" rewires
 the threshold live (so john's fast query below stays out), and
-"clear" empties the ring after dumping.  Only the wall-clock ms is
+"clear" empties the ring after dumping.  Each entry carries the
+capture timestamp and the id of the request whose check tripped the
+threshold (mary's slow check below was request 1 — the id echoed in
+that query's own response).  Only the wall clocks are
 nondeterministic:
 
   $ shex-validate --serve --schema person.shex --data people.ttl --slow-ms 0 <<'EOF' \
-  >   | sed -E 's/"ms":[0-9.e+-]+/"ms":_/g'
+  >   | sed -E 's/"ms":[0-9.e+-]+/"ms":_/g; s/"at":[0-9.e+-]+/"at":_/g'
   > {"cmd":"query","node":"http://example.org/mary","shape":"Person"}
   > {"cmd":"slowlog"}
   > {"cmd":"slowlog","threshold_ms":5000}
@@ -100,13 +104,13 @@ nondeterministic:
   > {"cmd":"slowlog"}
   > {"cmd":"shutdown"}
   > EOF
-  {"ok":true,"node":"<http://example.org/mary>","shape":"Person","conformant":false}
-  {"ok":true,"slowlog":{"threshold_ms":0,"capacity":128,"seen":1,"entries":[{"node":"<http://example.org/mary>","shape":"Person","ms":_,"conformant":false,"reason":"triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)","work":{"deriv_steps":2,"fixpoint_iterations":1,"fixpoint_flips":1,"fixpoint_demands":1}}]}}
-  {"ok":true,"slowlog":{"threshold_ms":5000,"capacity":128,"seen":1,"entries":[{"node":"<http://example.org/mary>","shape":"Person","ms":_,"conformant":false,"reason":"triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)","work":{"deriv_steps":2,"fixpoint_iterations":1,"fixpoint_flips":1,"fixpoint_demands":1}}]}}
-  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true}
-  {"ok":true,"slowlog":{"threshold_ms":5000,"capacity":128,"seen":1,"entries":[{"node":"<http://example.org/mary>","shape":"Person","ms":_,"conformant":false,"reason":"triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)","work":{"deriv_steps":2,"fixpoint_iterations":1,"fixpoint_flips":1,"fixpoint_demands":1}}]}}
-  {"ok":true,"slowlog":{"threshold_ms":5000,"capacity":128,"seen":0,"entries":[]}}
-  {"ok":true}
+  {"ok":true,"node":"<http://example.org/mary>","shape":"Person","conformant":false,"request":1}
+  {"ok":true,"slowlog":{"threshold_ms":0,"capacity":128,"seen":1,"entries":[{"node":"<http://example.org/mary>","shape":"Person","ms":_,"at":_,"conformant":false,"request":1,"reason":"triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)","work":{"deriv_steps":2,"fixpoint_iterations":1,"fixpoint_flips":1,"fixpoint_demands":1}}]},"request":2}
+  {"ok":true,"slowlog":{"threshold_ms":5000,"capacity":128,"seen":1,"entries":[{"node":"<http://example.org/mary>","shape":"Person","ms":_,"at":_,"conformant":false,"request":1,"reason":"triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)","work":{"deriv_steps":2,"fixpoint_iterations":1,"fixpoint_flips":1,"fixpoint_demands":1}}]},"request":3}
+  {"ok":true,"node":"<http://example.org/john>","shape":"Person","conformant":true,"request":4}
+  {"ok":true,"slowlog":{"threshold_ms":5000,"capacity":128,"seen":1,"entries":[{"node":"<http://example.org/mary>","shape":"Person","ms":_,"at":_,"conformant":false,"request":1,"reason":"triple <http://example.org/mary> <http://xmlns.com/foaf/0.1/age> \"65\"^^<http://www.w3.org/2001/XMLSchema#integer> . matches no arc of the remaining expression (it reduces the expression to ∅)","work":{"deriv_steps":2,"fixpoint_iterations":1,"fixpoint_flips":1,"fixpoint_demands":1}}]},"request":5}
+  {"ok":true,"slowlog":{"threshold_ms":5000,"capacity":128,"seen":0,"entries":[]},"request":6}
+  {"ok":true,"request":7}
 
 Asking for the slowlog when capture was never armed is an error, not
 a crash:
