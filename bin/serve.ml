@@ -81,6 +81,11 @@ type obs = {
    runs in the loop, not in signal context. *)
 let stop_reason : string option ref = ref None
 
+(* Schemas are small; data graphs are not.  Schema files are still
+   read whole (the ShExC/ShExJ parsers want a string), but graph
+   loading streams through the Turtle lexer's sliding window so the
+   daemon's peak memory during [load] is bounded by the graph, never
+   graph + source text. *)
 let read_file path =
   try In_channel.with_open_bin path In_channel.input_all
   with Sys_error msg -> bad "%s" msg
@@ -94,8 +99,8 @@ let load_schema path =
   match result with Ok s -> s | Error msg -> bad "%s: %s" path msg
 
 let load_graph path =
-  match Turtle.Parse.parse_graph (read_file path) with
-  | Ok g -> g
+  match Turtle.Parse.parse_file path with
+  | Ok d -> d.Turtle.Parse.graph
   | Error msg -> bad "%s: %s" path msg
 
 (* Same convention as --shape: exact label or suffix match. *)

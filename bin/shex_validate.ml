@@ -43,8 +43,10 @@ let load_schema path =
   | Error msg -> Printf.eprintf "%s: %s\n" path msg; exit 2
 
 let load_graph path =
-  match Turtle.Parse.parse_graph (read_file path) with
-  | Ok g -> g
+  (* Streams: the lexer slides a window over the channel, so loading a
+     multi-GB data file never materialises the source text. *)
+  match Turtle.Parse.parse_file path with
+  | Ok d -> d.Turtle.Parse.graph
   | Error msg -> Printf.eprintf "%s: %s\n" path msg; exit 2
 
 let resolve_label schema name =
@@ -308,7 +310,7 @@ let oracle_cmd spec =
       end
 
 let run_validate schema_path data_path node_opt shape_opt shape_map_opt
-    engine domains profile slow_ms engine_stats metrics trace_json
+    engine domains interned profile slow_ms engine_stats metrics trace_json
     trace_chrome trace_folded explain trace show_sparql export_shexj json
     result_map quiet infer_nodes infer_label =
   (match infer_nodes with
@@ -405,7 +407,7 @@ let run_validate schema_path data_path node_opt shape_opt shape_map_opt
   | fs -> Telemetry.set_sink tele (Some (fun ev -> List.iter (fun f -> f ev) fs)));
   let session =
     Shex.Validate.session ~engine:(engine_of_choice engine) ~telemetry:tele
-      ~domains ~profile ?slow_ms schema graph
+      ~domains ~interned ~profile ?slow_ms schema graph
   in
   let maybe_stats () =
     if engine_stats then print_engine_stats session;
@@ -498,7 +500,7 @@ let obs_get_cmd url =
 
 let validate_cmd oracle serve obs_port obs_interval journal journal_max_kb
     journal_replay obs_get schema_path data_path node_opt shape_opt
-    shape_map_opt engine domains profile slow_ms engine_stats metrics
+    shape_map_opt engine domains interned profile slow_ms engine_stats metrics
     trace_json trace_chrome trace_folded explain trace show_sparql
     export_shexj json result_map quiet infer_nodes infer_label =
   try
@@ -515,9 +517,9 @@ let validate_cmd oracle serve obs_port obs_interval journal journal_max_kb
         ()
     else
       run_validate schema_path data_path node_opt shape_opt shape_map_opt
-        engine domains profile slow_ms engine_stats metrics trace_json
-        trace_chrome trace_folded explain trace show_sparql export_shexj
-        json result_map quiet infer_nodes infer_label
+        engine domains interned profile slow_ms engine_stats metrics
+        trace_json trace_chrome trace_folded explain trace show_sparql
+        export_shexj json result_map quiet infer_nodes infer_label
   with
   | Failure msg | Sys_error msg | Invalid_argument msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -603,6 +605,19 @@ let domains_arg =
            totals are identical to sequential mode; trace sinks \
            ($(b,--trace-json), $(b,--trace-chrome), $(b,--trace-folded)) \
            force the sequential path so event streams stay ordered.")
+
+let interned_arg =
+  Arg.(
+    value & flag
+    & info [ "interned" ]
+        ~doc:
+          "Validate against the int-interned columnar store: terms are \
+           interned to dense ids and neighbourhoods come from \
+           binary-searched sorted int columns instead of structural \
+           index walks.  Verdicts, reports and explanations are \
+           byte-identical to the default representation (the \
+           differential oracle pins this); the win is load and lookup \
+           speed on large graphs.")
 
 let profile_arg =
   Arg.(
@@ -854,7 +869,7 @@ let cmd =
       $ journal_replay_arg $ obs_get_arg $ schema_arg $ data_arg
       $ node_arg
       $ shape_arg $ shape_map_arg $ engine_arg $ domains_arg
-      $ profile_arg $ slow_ms_arg
+      $ interned_arg $ profile_arg $ slow_ms_arg
       $ engine_stats_arg
       $ metrics_arg
       $ trace_json_arg $ trace_chrome_arg $ trace_folded_arg $ explain_arg

@@ -62,7 +62,25 @@ val matches :
     edge emits a [deriv_step] event (with hash-consed state ids in
     place of expression sizes; the rendered states too under
     {!Telemetry.residuals}) and exhaustion emits a [nullable_check] —
-    the same provenance vocabulary as the interpreted engine. *)
+    the same provenance vocabulary as the interpreted engine.
+
+    Classification dispatches on the triple's (direction, predicate)
+    through a per-automaton candidate table: only the atoms whose
+    predicate set contains that predicate have their object
+    constraints evaluated, so wide schemas pay one table lookup per
+    triple instead of a full atom scan. *)
+
+val matches_dts :
+  ?check_ref:(Shex.Label.t -> Rdf.Term.t -> bool) ->
+  ?tele:Telemetry.t ->
+  t ->
+  Rdf.Term.t ->
+  Shex.Neigh.dtriple list ->
+  bool
+(** {!matches} over an already-computed neighbourhood (what
+    {!Shex.Validate} passes a compiled matcher).  The caller must have
+    included incoming triples exactly when the source expression has
+    inverse arcs. *)
 
 (** Cache counters, cumulative since {!compile}. *)
 type stats = {

@@ -12,7 +12,7 @@ let backend tele : Shex.Validate.compiled_backend =
   let compile_shape e =
     let auto = Dfa.compile e in
     automata := auto :: !automata;
-    fun ~check_ref n g -> Dfa.matches ~check_ref ~tele auto n g
+    fun ~check_ref n dts -> Dfa.matches_dts ~check_ref ~tele auto n dts
   in
   let summed () =
     List.fold_left

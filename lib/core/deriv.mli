@@ -79,6 +79,20 @@ val matches :
     contains an inverse arc.  Stops early when the expression
     collapses to ∅ (no possible continuation, Example 12). *)
 
+val matches_dts :
+  ?ctors:Rse.ctors ->
+  ?check_ref:check_ref ->
+  ?instr:instruments ->
+  Rdf.Term.t ->
+  Neigh.dtriple list ->
+  Rse.t ->
+  bool
+(** {!matches} over an already-computed neighbourhood — the hot-path
+    entry point: {!Validate} computes Σgn once per evaluation (from
+    the structural indexes or a columnar slice) and hands it to
+    whichever engine runs.  The caller must have included incoming
+    triples exactly when [Rse.has_inverse e]. *)
+
 (** {1 Traced matching}
 
     A trace records the expression after each consumed triple,
@@ -101,6 +115,17 @@ val matches_trace :
   Rdf.Graph.t ->
   Rse.t ->
   trace
+
+val matches_trace_dts :
+  ?ctors:Rse.ctors ->
+  ?check_ref:check_ref ->
+  ?instr:instruments ->
+  Rdf.Term.t ->
+  Neigh.dtriple list ->
+  Rse.t ->
+  trace
+(** {!matches_trace} over an already-computed neighbourhood (same
+    contract as {!matches_dts}). *)
 
 val pp_trace : Format.formatter -> trace -> unit
 (** Renders the trace in the paper's style:

@@ -25,6 +25,13 @@ val of_node :
     [~include_inverse:true], incoming triples ⟨s,p,n⟩ follow the
     outgoing ones (self-loops appear in both directions). *)
 
+val of_columnar :
+  ?include_inverse:bool -> Rdf.Term.t -> Rdf.Columnar.t -> dtriple list
+(** {!of_node} against a columnar store: the outgoing run is a
+    binary-searched SPO slice, the incoming run an OSP slice.  Returns
+    the exact list {!of_node} returns on [Rdf.Columnar.to_graph c]
+    (canonical ids make slice order triple order). *)
+
 val arc_matches_values :
   Rse.arc -> Value_set.obj -> dtriple -> bool
 (** [arc_matches_values arc vo dt]: direction agrees, the predicate is

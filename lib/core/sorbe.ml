@@ -74,11 +74,12 @@ let to_rse t =
            (Rse.arc ~inverse:c.arc.inverse c.arc.pred c.arc.obj))
        t)
 
-let matches ?(check_ref = fun _ _ -> false) ?(instr = no_instruments) n g t =
+let has_inverse t = List.exists (fun c -> c.arc.inverse) t
+
+let matches_dts ?(check_ref = fun _ _ -> false) ?(instr = no_instruments) n dts
+    t =
   Telemetry.Counter.incr instr.matches_run;
   let counting = Telemetry.Counter.active instr.updates in
-  let include_inverse = List.exists (fun c -> c.arc.inverse) t in
-  let dts = Neigh.of_node ~include_inverse n g in
   let counts = Array.make (List.length t) 0 in
   let constrs = Array.of_list t in
   let obj_ok (arc : Rse.arc) far =
@@ -126,6 +127,10 @@ let matches ?(check_ref = fun _ _ -> false) ?(instr = no_instruments) n g t =
            ("constraints", Telemetry.Int (Array.length constrs));
            ("ok", Telemetry.Bool result) ]);
   result
+
+let matches ?check_ref ?instr n g t =
+  let dts = Neigh.of_node ~include_inverse:(has_inverse t) n g in
+  matches_dts ?check_ref ?instr n dts t
 
 let pp_interval ppf i =
   match i.max with

@@ -60,5 +60,20 @@ val matches :
     constraint's object test; finally check every tally against its
     interval. *)
 
+val has_inverse : t -> bool
+(** Whether any constraint carries an inverse arc — the
+    [include_inverse] a caller precomputing the neighbourhood for
+    {!matches_dts} must use. *)
+
+val matches_dts :
+  ?check_ref:(Label.t -> Rdf.Term.t -> bool) ->
+  ?instr:instruments ->
+  Rdf.Term.t ->
+  Neigh.dtriple list ->
+  t ->
+  bool
+(** {!matches} over an already-computed neighbourhood; the caller must
+    have included incoming triples exactly when {!has_inverse}. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints [a→1{1,1} ‖ b→{1, 2}{0,*}]. *)

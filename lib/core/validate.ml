@@ -27,7 +27,7 @@ type cache_stats = {
 type compiled_matcher =
   check_ref:(Label.t -> Rdf.Term.t -> bool) ->
   Rdf.Term.t ->
-  Rdf.Graph.t ->
+  Neigh.dtriple list ->
   bool
 
 type compiled_backend = {
@@ -180,9 +180,20 @@ let make_prof tele =
 type session = {
   engine : engine;
   schema : Schema.t;
-  mutable graph : Rdf.Graph.t;
-      (* mutable for {!set_graph}: incremental sessions swap in the
-         edited graph and invalidate the affected memo entries *)
+  mutable graph : Rdf.Graph.t option;
+      (* the structural view; mutable for {!set_graph} (incremental
+         sessions swap in the edited graph and invalidate the affected
+         memo entries) and [None] until demanded on columnar-primary
+         sessions ({!session_columnar}), which materialise it lazily *)
+  mutable columnar : Rdf.Columnar.t option;
+      (* the interned accelerator: when present, neighbourhoods are
+         binary-searched slices of the frozen int columns instead of
+         structural index walks.  Canonical ids keep the slices in
+         triple order, so verdicts, traces and reports are
+         byte-identical either way (the oracle's interned arm pins
+         this). *)
+  interned : bool;
+      (* whether {!set_graph} should rebuild the accelerator *)
   domains : int;
       (* requested bulk-validation parallelism; 1 = sequential *)
   proven : (Pair.t, bool) Hashtbl.t;  (* settled verdicts, memoised *)
@@ -204,9 +215,8 @@ type session = {
       (* the counters a slowlog entry reports deltas of *)
 }
 
-let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
-    ?(domains = 1) ?(record_deps = false) ?(profile = false) ?slow_ms schema
-    graph =
+let make_session ~engine ~telemetry ~domains ~record_deps ~profile ~slow_ms
+    ~graph ~columnar ~interned schema =
   let backend =
     match (engine, !compiled_backend_factory) with
     | (Compiled | Auto), Some make -> Some (make telemetry)
@@ -216,7 +226,7 @@ let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
            (link shex_automaton, or call Shex_automaton.Engine.install)"
     | _, _ -> None
   in
-  { engine; schema; graph;
+  { engine; schema; graph; columnar; interned;
     domains = max 1 domains;
     proven = Hashtbl.create 256;
     dep_record =
@@ -247,9 +257,36 @@ let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
           "sorbe_matches"; "sorbe_counter_updates"; "fixpoint_iterations";
           "fixpoint_flips"; "fixpoint_demands" ] }
 
+let session ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
+    ?(domains = 1) ?(record_deps = false) ?(profile = false) ?slow_ms
+    ?(interned = false) schema graph =
+  make_session ~engine ~telemetry ~domains ~record_deps ~profile ~slow_ms
+    ~graph:(Some graph)
+    ~columnar:(if interned then Some (Rdf.Columnar.of_graph graph) else None)
+    ~interned schema
+
+let session_columnar ?(engine = Derivatives) ?(telemetry = Telemetry.disabled)
+    ?(domains = 1) ?(profile = false) ?slow_ms schema columnar =
+  make_session ~engine ~telemetry ~domains ~record_deps:false ~profile
+    ~slow_ms ~graph:None ~columnar:(Some columnar) ~interned:true schema
+
 let telemetry st = st.tele
 let schema st = st.schema
-let graph st = st.graph
+
+let graph st =
+  match st.graph with
+  | Some g -> g
+  | None ->
+      (* Columnar-primary session: materialise the structural view on
+         first demand (the Backtracking baseline, incremental swaps
+         and external callers want a {!Rdf.Graph.t}).  The hot
+         validation paths never reach this. *)
+      let g = Rdf.Columnar.to_graph (Option.get st.columnar) in
+      st.graph <- Some g;
+      g
+
+let interned st = Option.is_some st.columnar
+let columnar_store st = st.columnar
 let engine st = st.engine
 let domains st = st.domains
 let record_deps st = Option.is_some st.dep_record
@@ -264,7 +301,19 @@ let set_slow_ms st = function
       | Some slog -> Slowlog.set_threshold_ms slog ms
       | None -> st.slowlog <- Some (Slowlog.create ~threshold_ms:ms ()))
 
-let set_graph st graph = st.graph <- graph
+let set_graph st graph =
+  st.graph <- Some graph;
+  st.columnar <-
+    (if st.interned then Some (Rdf.Columnar.of_graph graph) else None)
+
+(* Σgn through whichever representation the session holds: a
+   binary-searched columnar slice when the accelerator is present, the
+   structural indexes otherwise.  Either way the list is in triple
+   order, so every engine sees the same consumption sequence. *)
+let neighbourhood st ~include_inverse n =
+  match st.columnar with
+  | Some c -> Neigh.of_columnar ~include_inverse n c
+  | None -> Neigh.of_node ~include_inverse n (graph st)
 
 let dependencies_of st p =
   match st.dep_record with
@@ -488,16 +537,23 @@ let rec evaluate st ~value ~demand ((n, l) : Pair.t) =
       (* One provenance span per (node, shape) evaluation, labelled
          with the matcher that actually ran (Auto resolves per
          shape). *)
+      (* The neighbourhood is computed inside the matcher closure (so
+         profiled runs charge it to the shape, as when the engines
+         computed it themselves) through {!neighbourhood} — one binary
+         search per evaluation on interned sessions. *)
+      let deriv_run () =
+        let dts = neighbourhood st ~include_inverse:(Rse.has_inverse e) n in
+        Deriv.matches_dts ~check_ref ~instr:st.deriv_instr n dts e
+      in
       let matcher_name, run =
         match st.engine with
-        | Derivatives ->
-            ( "derivatives",
-              fun () ->
-                Deriv.matches ~check_ref ~instr:st.deriv_instr n st.graph e )
+        | Derivatives -> ("derivatives", deriv_run)
         | Backtracking ->
+            (* The Fig.-1 baseline decomposes whole neighbourhood
+               graphs, so it stays on the structural view. *)
             ( "backtracking",
               fun () ->
-                Backtrack.matches ~check_ref ~instr:st.back_instr n st.graph
+                Backtrack.matches ~check_ref ~instr:st.back_instr n (graph st)
                   e )
         | Auto | Compiled -> (
             (* Per-label compilation (experiments E4, E9): Auto uses
@@ -508,15 +564,20 @@ let rec evaluate st ~value ~demand ((n, l) : Pair.t) =
             | Counting sorbe ->
                 ( "sorbe",
                   fun () ->
-                    Sorbe.matches ~check_ref ~instr:st.sorbe_instr n st.graph
+                    let dts =
+                      neighbourhood st
+                        ~include_inverse:(Sorbe.has_inverse sorbe) n
+                    in
+                    Sorbe.matches_dts ~check_ref ~instr:st.sorbe_instr n dts
                       sorbe )
             | Table matcher ->
-                ("compiled", fun () -> matcher ~check_ref n st.graph)
-            | Generic ->
-                ( "derivatives",
+                ( "compiled",
                   fun () ->
-                    Deriv.matches ~check_ref ~instr:st.deriv_instr n st.graph
-                      e ))
+                    let dts =
+                      neighbourhood st ~include_inverse:(Rse.has_inverse e) n
+                    in
+                    matcher ~check_ref n dts )
+            | Generic -> ("derivatives", deriv_run))
       in
       let run =
         match st.profile with
@@ -730,7 +791,8 @@ let failure_explain st n l =
       Some (Explain.Node_constraint { node = n; constraint_ = vo })
   | Some { Schema.expr = e; _ } ->
       let check_ref l' o = verdict st (o, l') in
-      let trace = Deriv.matches_trace ~check_ref n st.graph e in
+      let dts = neighbourhood st ~include_inverse:(Rse.has_inverse e) n in
+      let trace = Deriv.matches_trace_dts ~check_ref n dts e in
       Explain.of_trace ~check_ref ~node:n ~label:l trace
 
 let plain_check st n l =
@@ -818,7 +880,11 @@ let check_all st associations =
   outcomes
 
 let validate_graph st =
-  let nodes = Rdf.Graph.nodes st.graph in
+  let nodes =
+    match st.columnar with
+    | Some c -> Rdf.Columnar.nodes c
+    | None -> Rdf.Graph.nodes (graph st)
+  in
   let labels = Schema.labels st.schema in
   let typing =
     List.fold_left

@@ -23,16 +23,25 @@ let reference schema graph assocs =
 (* Engine/domain arms all produce a full report over the same
    association list, so verdicts, blame sets and JSON rendering are
    compared in one shot. *)
+(* Arms are (name, engine, domains, interned).  The interned arms
+   re-run reference engines against the columnar accelerator: any
+   ordering or lookup discrepancy between the int-column slices and
+   the structural indexes shows up as a verdict or report-JSON
+   divergence here. *)
 let engine_arms () =
-  [ ("backtrack", Shex.Validate.Backtracking, 1);
-    ("auto", Shex.Validate.Auto, 1) ]
+  [ ("backtrack", Shex.Validate.Backtracking, 1, false);
+    ("auto", Shex.Validate.Auto, 1, false);
+    ("interned", Shex.Validate.Derivatives, 1, true);
+    ("interned-auto", Shex.Validate.Auto, 1, true) ]
   @ (if Shex.Validate.compiled_backend_installed () then
-       [ ("compiled", Shex.Validate.Compiled, 1) ]
+       [ ("compiled", Shex.Validate.Compiled, 1, false);
+         ("interned-compiled", Shex.Validate.Compiled, 1, true) ]
      else [])
   @
   if Shex.Validate.bulk_checker_installed () then
-    [ ("domains=2", Shex.Validate.Derivatives, 2);
-      ("domains=4", Shex.Validate.Derivatives, 4) ]
+    [ ("domains=2", Shex.Validate.Derivatives, 2, false);
+      ("domains=4", Shex.Validate.Derivatives, 4, false);
+      ("interned-domains=2", Shex.Validate.Derivatives, 2, true) ]
   else []
 
 let compare_full ~arm ~ref_oks ~ref_json assocs (oks, json) =
@@ -134,8 +143,10 @@ let divergences schema graph assocs =
   let ref_oks, ref_json = reference schema graph assocs in
   let engine_findings =
     List.filter_map
-      (fun (arm, engine, domains) ->
-        let session = Shex.Validate.session ~engine ~domains schema graph in
+      (fun (arm, engine, domains, interned) ->
+        let session =
+          Shex.Validate.session ~engine ~domains ~interned schema graph
+        in
         let report = Shex.Report.run session assocs in
         let oks =
           List.map

@@ -44,7 +44,14 @@ let check_bulk session associations =
   else begin
     let engine = Shex.Validate.engine session in
     let schema = Shex.Validate.schema session in
-    let graph = Shex.Validate.graph session in
+    (* Interned sessions hand their frozen columnar store to every
+       shard directly — it is immutable (sorted int arrays plus a
+       read-only id table), so sharing it across domains is safe and
+       skips materialising a structural graph per bulk call. *)
+    let store = Shex.Validate.columnar_store session in
+    let graph =
+      match store with Some _ -> None | None -> Some (Shex.Validate.graph session)
+    in
     let parent_tele = Shex.Validate.telemetry session in
     let instrumented = Telemetry.enabled parent_tele in
     let profile = Shex.Validate.profiling session in
@@ -55,7 +62,13 @@ let check_bulk session associations =
             if instrumented then Telemetry.create () else Telemetry.disabled
           in
           let sub =
-            Shex.Validate.session ~engine ~telemetry ~profile schema graph
+            match store with
+            | Some c ->
+                Shex.Validate.session_columnar ~engine ~telemetry ~profile
+                  schema c
+            | None ->
+                Shex.Validate.session ~engine ~telemetry ~profile schema
+                  (Option.get graph)
           in
           let outcomes =
             List.map

@@ -1,0 +1,85 @@
+(** Columnar int-triple graph store.
+
+    The raw-speed backing representation behind the structural
+    {!Graph.t} façade: every term is interned to a dense int id
+    ({!Interner}), and the triples live in three parallel int columns
+    sorted in SPO order, plus POS and OSP permutations.  Subject
+    neighbourhoods (the paper's Σgn), incoming-arc lookups and
+    per-predicate scans are binary-searched contiguous slices instead
+    of balanced-tree walks.
+
+    Ids are canonical — assigned in {!Term.compare} order at
+    {!freeze} time — so int order {e is} term order and every slice
+    comes back in exactly the order the structural indexes produce:
+    {!out_triples} agrees triple-for-triple with
+    [Graph.to_list (Graph.neighbourhood n g)], {!in_triples} with
+    [Graph.to_list (Graph.triples_with_object n g)].  That ordering
+    guarantee is what makes reports, explanations and traces
+    byte-identical whichever representation a session validates
+    against.
+
+    A frozen store is immutable and safe to share across domains:
+    lookups touch only immutable arrays and a read-only hash table. *)
+
+type t
+
+(** {1 Building} *)
+
+type builder
+
+val builder : ?terms:int -> ?triples:int -> unit -> builder
+(** Fresh builder; the optional arguments are capacity hints. *)
+
+val add : builder -> Term.t -> Iri.t -> Term.t -> unit
+(** Append one triple, interning its terms.  Duplicate triples
+    collapse at {!freeze} (a graph is a set).  Raises
+    [Invalid_argument] on a literal subject. *)
+
+val add_triple : builder -> Triple.t -> unit
+
+val triples_added : builder -> int
+(** Triples appended so far (duplicates still counted). *)
+
+val freeze : builder -> t
+(** Compact ids into canonical term order, sort and dedup the
+    columns, build the POS/OSP permutations.  The builder must not be
+    used afterwards. *)
+
+val of_graph : Graph.t -> t
+val to_graph : t -> Graph.t
+(** Round-trip to the structural representation.  [to_graph (of_graph
+    g)] is {!Graph.equal} to [g]. *)
+
+(** {1 Reading} *)
+
+val cardinal : t -> int
+(** Number of (distinct) triples. *)
+
+val terms_cardinal : t -> int
+(** Number of distinct interned terms. *)
+
+val interner : t -> Interner.t
+(** The canonical (term-ordered) id table. *)
+
+val id : t -> Term.t -> int option
+val term : t -> int -> Term.t
+
+val out_triples : t -> Term.t -> Triple.t list
+(** Σgn: triples with the given subject, in {!Triple.compare} order. *)
+
+val in_triples : t -> Term.t -> Triple.t list
+(** Triples with the given object, in {!Triple.compare} order. *)
+
+val triples_with_predicate : t -> Iri.t -> Triple.t list
+(** Triples with the given predicate, in {!Triple.compare} order. *)
+
+val out_degree : t -> Term.t -> int
+val in_degree : t -> Term.t -> int
+
+val nodes : t -> Term.t list
+(** Distinct subjects and objects, in term order — agrees with
+    {!Graph.nodes}. *)
+
+val iter : (Triple.t -> unit) -> t -> unit
+val fold : (Triple.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Triples in {!Triple.compare} order, like the structural folds. *)

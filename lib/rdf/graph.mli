@@ -27,6 +27,11 @@ val to_list : t -> Triple.t list
 (** Triples in increasing {!Triple.compare} order. *)
 
 val of_set : Triple.Set.t -> t
+(** Bulk constructor: both secondary indexes are built in one ordered
+    pass over the set (plus one auxiliary sort for the object index)
+    instead of per-triple [add]s. *)
+
+val of_seq : Triple.t Seq.t -> t
 val to_set : t -> Triple.Set.t
 
 val union : t -> t -> t

@@ -74,7 +74,14 @@ let compare a b =
     let c = Iri.compare a.datatype b.datatype in
     if c <> 0 then c else Option.compare String.compare a.lang b.lang
 
-let hash t = Hashtbl.hash (t.lexical, Iri.to_string t.datatype, t.lang)
+(* Component hashes mixed arithmetically: the old version allocated a
+   tuple (and a fresh datatype string) per call just to re-hash it. *)
+let hash t =
+  let h = Hashtbl.hash t.lexical in
+  let h = ((h * 0x1000193) lxor Iri.hash t.datatype) land max_int in
+  match t.lang with
+  | None -> h
+  | Some lang -> ((h * 0x1000193) lxor Hashtbl.hash lang) land max_int
 
 let escape_string s =
   let buf = Buffer.create (String.length s + 2) in

@@ -50,10 +50,13 @@ let compare a b =
   | Literal x, Literal y -> Literal.compare x y
   | _ -> Int.compare (rank a) (rank b)
 
+(* Mix the constructor tag into the component hash arithmetically: no
+   tuple allocation, no second [Hashtbl.hash] pass over an already
+   mixed value.  This sits on the memo/DFA hot path. *)
 let hash = function
-  | Iri i -> Hashtbl.hash (0, Iri.hash i)
-  | Bnode b -> Hashtbl.hash (1, Bnode.hash b)
-  | Literal l -> Hashtbl.hash (2, Literal.hash l)
+  | Iri i -> (Iri.hash i * 0x1000193) land max_int
+  | Bnode b -> ((Bnode.hash b * 0x1000193) + 1) land max_int
+  | Literal l -> ((Literal.hash l * 0x1000193) + 2) land max_int
 
 let pp ppf = function
   | Iri i -> Iri.pp ppf i

@@ -22,7 +22,12 @@ let compare a b =
     let c = Iri.compare a.p b.p in
     if c <> 0 then c else Term.compare a.o b.o
 
-let hash t = Hashtbl.hash (Term.hash t.s, Iri.hash t.p, Term.hash t.o)
+(* FNV-style mixing of the component hashes; allocation-free (the old
+   version built a tuple and re-hashed the three already mixed ints). *)
+let hash t =
+  let h = Term.hash t.s in
+  let h = ((h * 0x1000193) lxor Iri.hash t.p) land max_int in
+  ((h * 0x1000193) lxor Term.hash t.o) land max_int
 
 let pp ppf t =
   Format.fprintf ppf "%a %a %a ." Term.pp t.s Iri.pp t.p Term.pp t.o

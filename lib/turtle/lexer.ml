@@ -29,13 +29,57 @@ type located = { token : token; line : int; col : int }
 
 exception Error of string * int * int
 
-type state = { src : string; mutable pos : int; mutable line : int;
-               mutable col : int }
+(* The scanner reads from a sliding byte window refilled on demand, so
+   tokenizing a channel never materialises the source: peak memory is
+   the window (64 KiB) however large the document.  Every decision
+   point below needs at most [max_lookahead] bytes (the longest
+   keyword probe, "prefix" plus its boundary character), so a refill
+   that tops the window up whenever fewer remain preserves the exact
+   semantics of the old whole-string scanner. *)
+type state = {
+  refill : bytes -> int -> int -> int;
+      (* [refill buf off len] reads ≤ len bytes at off; 0 = EOF *)
+  buf : bytes;
+  mutable len : int;  (* valid bytes in [buf] *)
+  mutable pos : int;  (* cursor into [buf] *)
+  mutable eof : bool;  (* the refill function is exhausted *)
+  mutable line : int;
+  mutable col : int;
+}
 
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let max_lookahead = 8
+let window_size = 65536
 
-let peek2 st =
-  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+(* Guarantee [k] readable bytes at [pos] (or EOF): compact the window
+   and refill.  No token construct keeps absolute positions across
+   [advance] calls, so sliding the buffer is invisible above. *)
+let ensure st k =
+  if st.len - st.pos < k && not st.eof then begin
+    let rem = st.len - st.pos in
+    Bytes.blit st.buf st.pos st.buf 0 rem;
+    st.pos <- 0;
+    st.len <- rem;
+    let cap = Bytes.length st.buf in
+    let continue = ref true in
+    while !continue && st.len < cap do
+      let n = st.refill st.buf st.len (cap - st.len) in
+      if n = 0 then begin
+        st.eof <- true;
+        continue := false
+      end
+      else begin
+        st.len <- st.len + n;
+        if st.len - st.pos >= k then continue := false
+      end
+    done
+  end
+
+let peek_at st i =
+  ensure st (i + 1);
+  if st.pos + i < st.len then Some (Bytes.get st.buf (st.pos + i)) else None
+
+let peek st = peek_at st 0
+let peek2 st = peek_at st 1
 
 let advance st =
   (match peek st with
@@ -49,7 +93,7 @@ let advance st =
       st.col <- 1
   | Some _ -> st.col <- st.col + 1
   | None -> ());
-  st.pos <- st.pos + 1
+  if st.pos < st.len then st.pos <- st.pos + 1
 
 let error st msg = raise (Error (msg, st.line, st.col))
 
@@ -185,9 +229,8 @@ let read_pn_local st =
             advance st; Buffer.add_char buf '.'; go ()
         | _ -> Buffer.contents buf)
     | Some '%' -> (
-        match (peek2 st, st.pos + 2 < String.length st.src) with
-        | Some h1, true ->
-            let h2 = st.src.[st.pos + 2] in
+        match (peek2 st, peek_at st 2) with
+        | Some h1, Some h2 ->
             advance st; advance st; advance st;
             Buffer.add_char buf '%';
             Buffer.add_char buf h1;
@@ -255,15 +298,23 @@ let read_number st =
   else Integer_lit s
 
 let keyword_at st kw =
-  (* Case-insensitive match of a bare word at the current position. *)
+  (* Case-insensitive match of a bare word at the current position.
+     Needs length kw + 1 bytes of lookahead (the boundary check) —
+     bounded by [max_lookahead] for every keyword we probe. *)
   let n = String.length kw in
-  st.pos + n <= String.length st.src
-  && String.lowercase_ascii (String.sub st.src st.pos n)
-     = String.lowercase_ascii kw
-  && (st.pos + n = String.length st.src
-     ||
-     let c = st.src.[st.pos + n] in
-     not (is_pn_chars c || c = ':'))
+  assert (n < max_lookahead);
+  let rec chars i =
+    i >= n
+    || (match peek_at st i with
+       | Some c -> Char.lowercase_ascii c = Char.lowercase_ascii kw.[i]
+       | None -> false)
+       && chars (i + 1)
+  in
+  chars 0
+  &&
+  match peek_at st n with
+  | None -> true
+  | Some c -> not (is_pn_chars c || c = ':')
 
 let consume_word st kw = for _ = 1 to String.length kw do advance st done
 
@@ -297,21 +348,12 @@ let next_token st =
         | _ -> advance st; Dot)
     | Some ';' -> advance st; Semicolon
     | Some ',' -> advance st; Comma
-    | Some '[' -> (
+    | Some '[' ->
+        (* [[]] (ANON) is recognised by the parser from Lbracket
+           Rbracket: deciding it here would need unbounded lookahead
+           past whitespace, which a streaming window cannot give. *)
         advance st;
-        let save = (st.pos, st.line, st.col) in
-        let rec skip_ws () =
-          match peek st with
-          | Some c when is_ws c -> advance st; skip_ws ()
-          | _ -> ()
-        in
-        skip_ws ();
-        match peek st with
-        | Some ']' -> advance st; Anon
-        | _ ->
-            let pos, line', col' = save in
-            st.pos <- pos; st.line <- line'; st.col <- col';
-            Lbracket)
+        Lbracket
     | Some ']' -> advance st; Rbracket
     | Some '(' -> advance st; Lparen
     | Some ')' -> advance st; Rparen
@@ -369,8 +411,34 @@ let next_token st =
   in
   { token = tok; line; col }
 
+type stream = state
+
+let no_refill _ _ _ = 0
+
+let stream_of_string src =
+  (* The whole string is the window; the refill function is never
+     consulted.  One copy, same complexity as the old scanner. *)
+  { refill = no_refill;
+    buf = Bytes.of_string src;
+    len = String.length src;
+    pos = 0;
+    eof = true;
+    line = 1;
+    col = 1 }
+
+let stream_of_channel ic =
+  { refill = (fun buf off len -> In_channel.input ic buf off len);
+    buf = Bytes.create window_size;
+    len = 0;
+    pos = 0;
+    eof = false;
+    line = 1;
+    col = 1 }
+
+let next st = next_token st
+
 let tokenize src =
-  let st = { src; pos = 0; line = 1; col = 1 } in
+  let st = stream_of_string src in
   let rec go acc =
     let t = next_token st in
     if t.token = Eof then List.rev (t :: acc) else go (t :: acc)

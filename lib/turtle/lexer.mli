@@ -38,9 +38,24 @@ type located = { token : token; line : int; col : int }
 exception Error of string * int * int
 (** [Error (message, line, col)] — 1-based positions. *)
 
+type stream
+(** A lazy token source over a sliding byte window.  Reading from a
+    channel keeps peak memory at the window size (64 KiB) regardless
+    of document length; every construct in the grammar needs only
+    bounded byte lookahead.  Note that [[]] (ANON) is {e not} produced
+    by a stream: the parser recognises it from [Lbracket] [Rbracket]
+    (deciding it in the lexer would need unbounded lookahead). *)
+
+val stream_of_string : string -> stream
+val stream_of_channel : in_channel -> stream
+
+val next : stream -> located
+(** The next token; [Eof] forever once exhausted.  Raises {!Error} on
+    malformed input. *)
+
 val tokenize : string -> located list
 (** Tokenize a whole document.  Raises {!Error} on malformed input.
     Comments ([# …\n]) and whitespace are skipped.  The result always
-    ends with an [Eof] token. *)
+    ends with an [Eof] token.  Like a stream, never produces {!Anon}. *)
 
 val pp_token : Format.formatter -> token -> unit

@@ -6,17 +6,21 @@ type document = {
 
 exception Parse_error of string * int * int
 
+(* The parser pulls tokens lazily (one-token lookahead, which the
+   grammar below never exceeds), so parsing a channel-backed stream
+   holds one token plus the graph being built — never the source text
+   or the token list. *)
 type state = {
-  tokens : Lexer.located array;
-  mutable index : int;
+  next : unit -> Lexer.located;
+  mutable cur : Lexer.located;
   mutable namespaces : Rdf.Namespace.t;
   mutable base : Rdf.Iri.t option;
   mutable graph : Rdf.Graph.t;
   mutable bnode_counter : int;
 }
 
-let current st = st.tokens.(st.index)
-let advance st = if st.index < Array.length st.tokens - 1 then st.index <- st.index + 1
+let current st = st.cur
+let advance st = if st.cur.Lexer.token <> Lexer.Eof then st.cur <- st.next ()
 
 let error st msg =
   let { Lexer.line; col; _ } = current st in
@@ -105,17 +109,29 @@ let rec parse_object st =
   | Lexer.Kw_false ->
       advance st;
       Rdf.Term.Literal (Rdf.Literal.boolean false)
-  | Lexer.Lbracket -> parse_bnode_property_list st
+  | Lexer.Lbracket ->
+      let subject, _ = parse_bracket_node st in
+      subject
   | Lexer.Lparen -> parse_collection st
   | _ -> error st "expected an object (IRI, blank node, literal, [...] or (...))"
 
-(* blankNodePropertyList ::= '[' predicateObjectList ']' *)
-and parse_bnode_property_list st =
+(* '[' ... : either ANON ([]) or a blankNodePropertyList
+   ('[' predicateObjectList ']').  The streaming lexer cannot emit a
+   dedicated ANON token (that needs unbounded lookahead over the
+   whitespace between the brackets), so the split happens here on the
+   very next token.  Returns the blank node and whether a property
+   list was present. *)
+and parse_bracket_node st =
   expect st Lexer.Lbracket "expected [";
   let subject = fresh_bnode st in
-  parse_predicate_object_list st subject;
-  expect st Lexer.Rbracket "expected ]";
-  subject
+  match (current st).Lexer.token with
+  | Lexer.Rbracket ->
+      advance st;
+      (subject, false)
+  | _ ->
+      parse_predicate_object_list st subject;
+      expect st Lexer.Rbracket "expected ]";
+      (subject, true)
 
 (* collection ::= '(' object* ')' — rdf:first/rdf:rest chain *)
 and parse_collection st =
@@ -193,12 +209,15 @@ let parse_subject st =
 
 let parse_triples st =
   match (current st).Lexer.token with
-  | Lexer.Lbracket ->
-      (* blankNodePropertyList predicateObjectList? *)
-      let subject = parse_bnode_property_list st in
-      (match (current st).Lexer.token with
-      | Lexer.Dot -> ()
-      | _ -> parse_predicate_object_list st subject)
+  | Lexer.Lbracket -> (
+      (* blankNodePropertyList predicateObjectList? — but a bare ANON
+         subject ([] p o .) requires the predicateObjectList. *)
+      let subject, had_props = parse_bracket_node st in
+      if not had_props then parse_predicate_object_list st subject
+      else
+        match (current st).Lexer.token with
+        | Lexer.Dot -> ()
+        | _ -> parse_predicate_object_list st subject)
   | _ ->
       let subject = parse_subject st in
       parse_predicate_object_list st subject
@@ -246,24 +265,28 @@ let parse_document st =
   in
   go ()
 
-let parse ?base src =
-  match Lexer.tokenize src with
+let parse_stream ?base stream =
+  (* Tokenization is lazy now, so lexical errors can surface at any
+     point of the parse, not just up front. *)
+  match
+    let st =
+      { next = (fun () -> Lexer.next stream);
+        cur = Lexer.next stream;
+        namespaces = Rdf.Namespace.empty;
+        base;
+        graph = Rdf.Graph.empty;
+        bnode_counter = 0 }
+    in
+    parse_document st;
+    st
+  with
+  | st -> Ok { graph = st.graph; namespaces = st.namespaces; base = st.base }
   | exception Lexer.Error (msg, line, col) ->
       Error (Printf.sprintf "lexical error at %d:%d: %s" line col msg)
-  | tokens -> (
-      let st =
-        { tokens = Array.of_list tokens;
-          index = 0;
-          namespaces = Rdf.Namespace.empty;
-          base;
-          graph = Rdf.Graph.empty;
-          bnode_counter = 0 }
-      in
-      match parse_document st with
-      | () ->
-          Ok { graph = st.graph; namespaces = st.namespaces; base = st.base }
-      | exception Parse_error (msg, line, col) ->
-          Error (Printf.sprintf "parse error at %d:%d: %s" line col msg))
+  | exception Parse_error (msg, line, col) ->
+      Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
+
+let parse ?base src = parse_stream ?base (Lexer.stream_of_string src)
 
 let parse_graph ?base src =
   Result.map (fun (d : document) -> d.graph) (parse ?base src)
@@ -274,6 +297,12 @@ let parse_graph_exn ?base src =
   | Error msg -> failwith msg
 
 let parse_file ?base path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | src -> parse ?base src
+  (* Streaming end to end: the lexer window slides over the channel,
+     so peak memory is bounded by the parsed graph, not graph + source
+     text (the old version slurped the whole file first). *)
+  match
+    In_channel.with_open_bin path (fun ic ->
+        parse_stream ?base (Lexer.stream_of_channel ic))
+  with
+  | result -> result
   | exception Sys_error msg -> Error msg

@@ -27,4 +27,11 @@ val parse_graph_exn : ?base:Rdf.Iri.t -> string -> Rdf.Graph.t
 (** Raises [Failure] with the parse error.  For tests and examples. *)
 
 val parse_file : ?base:Rdf.Iri.t -> string -> (document, string) result
-(** Read and parse a file. *)
+(** Read and parse a file, streaming: the lexer slides a 64 KiB
+    window over the channel and the parser keeps one token of
+    lookahead, so peak memory is bounded by the parsed graph — the
+    source text is never materialised. *)
+
+val parse_stream : ?base:Rdf.Iri.t -> Lexer.stream -> (document, string) result
+(** Parse from an already-opened token stream ({!Lexer.stream_of_channel},
+    {!Lexer.stream_of_string}). *)

@@ -1,0 +1,342 @@
+(* The raw-speed storage layer: term interner, columnar triple store,
+   and the streaming N-Triples bulk loader — plus the property that the
+   whole interned stack validates byte-identically to the structural
+   representation. *)
+
+open Util
+
+let term_t = term
+
+(* ------------------------------------------------------------------ *)
+(* Interner                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interner_roundtrip () =
+  let t = Rdf.Interner.create () in
+  let terms = [ node "a"; num 1; node "b"; Rdf.Term.str "x" ] in
+  let ids = List.map (Rdf.Interner.intern t) terms in
+  List.iter2
+    (fun term id ->
+      Alcotest.check term_t "resolve ∘ intern = id" term
+        (Rdf.Interner.resolve t id))
+    terms ids;
+  (* Dense: ids are 0..n-1 in first-intern order. *)
+  Alcotest.(check (list int)) "dense ids" [ 0; 1; 2; 3 ] ids;
+  check_int "cardinal" 4 (Rdf.Interner.cardinal t)
+
+let test_interner_idempotent () =
+  let t = Rdf.Interner.create () in
+  let id1 = Rdf.Interner.intern t (node "a") in
+  ignore (Rdf.Interner.intern t (num 2));
+  let id2 = Rdf.Interner.intern t (node "a") in
+  check_int "same term, same id" id1 id2;
+  check_int "no duplicate entry" 2 (Rdf.Interner.cardinal t);
+  Alcotest.(check (option int))
+    "find" (Some id1)
+    (Rdf.Interner.find t (node "a"));
+  Alcotest.(check (option int)) "find misses" None
+    (Rdf.Interner.find t (node "zzz"))
+
+let test_interner_bnode_scoping () =
+  let t = Rdf.Interner.create () in
+  let b1 = Rdf.Interner.intern t (Rdf.Term.Bnode (Rdf.Bnode.of_string "x")) in
+  let b2 = Rdf.Interner.intern t (Rdf.Term.Bnode (Rdf.Bnode.of_string "y")) in
+  let b1' = Rdf.Interner.intern t (Rdf.Term.Bnode (Rdf.Bnode.of_string "x")) in
+  (* An IRI never shares an id with a bnode, whatever the spelling. *)
+  let i1 = Rdf.Interner.intern t (node "x") in
+  check_int "same label, same id" b1 b1';
+  check_bool "distinct labels distinct" true (b1 <> b2);
+  check_bool "bnode ≠ iri of same text" true (b1 <> i1)
+
+let test_interner_compact_sorted () =
+  let t = Rdf.Interner.create () in
+  (* Intern out of term order on purpose. *)
+  List.iter
+    (fun term -> ignore (Rdf.Interner.intern t term))
+    [ num 3; node "c"; Rdf.Term.str "s"; node "a"; num 1 ];
+  check_bool "unsorted before compact" false (Rdf.Interner.sorted t);
+  let compacted, remap = Rdf.Interner.compact t in
+  check_bool "sorted after compact" true (Rdf.Interner.sorted compacted);
+  check_int "same cardinal" (Rdf.Interner.cardinal t)
+    (Rdf.Interner.cardinal compacted);
+  (* The remap sends every old id to the new id of the same term. *)
+  Rdf.Interner.iteri
+    (fun old_id term ->
+      Alcotest.check term_t "remap preserves terms" term
+        (Rdf.Interner.resolve compacted remap.(old_id)))
+    t
+
+let test_interner_bad_id () =
+  let t = Rdf.Interner.create () in
+  ignore (Rdf.Interner.intern t (node "a"));
+  Alcotest.check_raises "resolve out of range"
+    (Invalid_argument "Interner.resolve: unknown id 7") (fun () ->
+      ignore (Rdf.Interner.resolve t 7))
+
+(* ------------------------------------------------------------------ *)
+(* Columnar store                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A graph with fan-out, fan-in, shared terms, a self-referencing
+   object, literals and bnodes — enough shape to exercise all three
+   index directions. *)
+let sample_graph =
+  graph_of
+    [ t3 "n" "a" (num 1);
+      t3 "n" "b" (num 1);
+      t3 "n" "b" (num 2);
+      t3 "m" "a" (node "n");
+      t3 "m" "c" (Rdf.Term.str "hello");
+      Rdf.Triple.make
+        (Rdf.Term.Bnode (Rdf.Bnode.of_string "b0"))
+        (ex "a") (node "m");
+      t3 "o" "c" (node "n") ]
+
+let test_columnar_roundtrip () =
+  let c = Rdf.Columnar.of_graph sample_graph in
+  Alcotest.check graph "to_graph ∘ of_graph = id" sample_graph
+    (Rdf.Columnar.to_graph c);
+  check_int "cardinal" (Rdf.Graph.cardinal sample_graph)
+    (Rdf.Columnar.cardinal c);
+  check_bool "canonical interner is sorted" true
+    (Rdf.Interner.sorted (Rdf.Columnar.interner c))
+
+let triples = Alcotest.(list (testable Rdf.Triple.pp Rdf.Triple.equal))
+
+let test_columnar_slices_agree () =
+  let c = Rdf.Columnar.of_graph sample_graph in
+  List.iter
+    (fun n ->
+      Alcotest.check triples "out slice ≡ structural neighbourhood"
+        (Rdf.Graph.to_list (Rdf.Graph.neighbourhood n sample_graph))
+        (Rdf.Columnar.out_triples c n);
+      Alcotest.check triples "in slice ≡ structural incoming"
+        (Rdf.Graph.to_list (Rdf.Graph.triples_with_object n sample_graph))
+        (Rdf.Columnar.in_triples c n);
+      check_int "out_degree"
+        (Rdf.Graph.cardinal (Rdf.Graph.neighbourhood n sample_graph))
+        (Rdf.Columnar.out_degree c n);
+      check_int "in_degree"
+        (Rdf.Graph.cardinal
+           (Rdf.Graph.triples_with_object n sample_graph))
+        (Rdf.Columnar.in_degree c n))
+    (Rdf.Graph.nodes sample_graph);
+  List.iter
+    (fun p ->
+      Alcotest.check triples "predicate slice"
+        (List.filter
+           (fun tr -> Rdf.Iri.equal (Rdf.Triple.predicate tr) p)
+           (Rdf.Graph.to_list sample_graph))
+        (Rdf.Columnar.triples_with_predicate c p))
+    (Rdf.Graph.predicates sample_graph);
+  Alcotest.check (Alcotest.list term_t) "nodes agree"
+    (Rdf.Graph.nodes sample_graph)
+    (Rdf.Columnar.nodes c)
+
+let test_columnar_dedup () =
+  let b = Rdf.Columnar.builder () in
+  let tr = t3 "n" "a" (num 1) in
+  Rdf.Columnar.add_triple b tr;
+  Rdf.Columnar.add_triple b tr;
+  Rdf.Columnar.add b (node "n") (ex "a") (num 1);
+  check_int "adds counted raw" 3 (Rdf.Columnar.triples_added b);
+  let c = Rdf.Columnar.freeze b in
+  check_int "a graph is a set" 1 (Rdf.Columnar.cardinal c)
+
+let test_columnar_literal_subject () =
+  let b = Rdf.Columnar.builder () in
+  match Rdf.Columnar.add b (num 1) (ex "a") (num 2) with
+  | () -> Alcotest.fail "literal subject accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_neigh_of_columnar () =
+  let c = Rdf.Columnar.of_graph sample_graph in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun include_inverse ->
+          check_bool "of_columnar ≡ of_node" true
+            (List.equal Shex.Neigh.equal
+               (Shex.Neigh.of_node ~include_inverse n sample_graph)
+               (Shex.Neigh.of_columnar ~include_inverse n c)))
+        [ false; true ])
+    (Rdf.Graph.nodes sample_graph)
+
+(* ------------------------------------------------------------------ *)
+(* Interned validation ≡ structural validation                         *)
+(* ------------------------------------------------------------------ *)
+
+let person_schema =
+  match
+    Shexc.Shexc_parser.parse_schema
+      "PREFIX ex: <http://example.org/>\n\
+       <S> { ex:a [1], ex:b [1 2]* }"
+  with
+  | Ok s -> s
+  | Error msg -> failwith msg
+
+let test_interned_session_agrees () =
+  let structural = Shex.Validate.session person_schema sample_graph in
+  let interned =
+    Shex.Validate.session ~interned:true person_schema sample_graph
+  in
+  check_bool "structural session not interned" false
+    (Shex.Validate.interned structural);
+  check_bool "interned session interned" true
+    (Shex.Validate.interned interned);
+  Alcotest.check typing "validate_graph agrees"
+    (Shex.Validate.validate_graph structural)
+    (Shex.Validate.validate_graph interned)
+
+let test_session_columnar () =
+  let c = Rdf.Columnar.of_graph sample_graph in
+  let st = Shex.Validate.session_columnar person_schema c in
+  Alcotest.check typing "columnar-primary session agrees"
+    (Shex.Validate.validate_graph
+       (Shex.Validate.session person_schema sample_graph))
+    (Shex.Validate.validate_graph st);
+  (* The structural view materialises on demand and matches. *)
+  Alcotest.check graph "lazy structural view" sample_graph
+    (Shex.Validate.graph st)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming N-Triples loading                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_nt ~lines f =
+  let path = Filename.temp_file "shex_test" ".nt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> lines oc);
+      f path)
+
+let test_fold_file_agrees_with_parse () =
+  with_temp_nt
+    ~lines:(fun oc ->
+      output_string oc
+        "<http://e.org/n> <http://e.org/a> \"1\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\
+         _:b0 <http://e.org/a> <http://e.org/n> .\n\
+         <http://e.org/n> <http://e.org/b> \"hi\"@en .\n")
+    (fun path ->
+      let streamed =
+        match
+          Turtle.Ntriples.fold_file path (fun acc tr -> tr :: acc) []
+        with
+        | Ok trs -> Rdf.Graph.of_list trs
+        | Error msg -> failwith msg
+      in
+      let parsed =
+        match Turtle.Parse.parse_file path with
+        | Ok d -> d.Turtle.Parse.graph
+        | Error msg -> failwith msg
+      in
+      Alcotest.check graph "fold_file ≡ parse_file" parsed streamed)
+
+let test_load_file_columnar () =
+  with_temp_nt
+    ~lines:(fun oc ->
+      for s = 0 to 9 do
+        for o = 0 to 4 do
+          Printf.fprintf oc "<http://e.org/s%d> <http://e.org/p> <http://e.org/o%d> .\n" s o
+        done
+      done)
+    (fun path ->
+      match Turtle.Ntriples.load_file path with
+      | Error msg -> failwith msg
+      | Ok c ->
+          check_int "all triples loaded" 50 (Rdf.Columnar.cardinal c);
+          check_int "terms deduplicated" 16 (Rdf.Columnar.terms_cardinal c);
+          let parsed =
+            match Turtle.Parse.parse_file path with
+            | Ok d -> d.Turtle.Parse.graph
+            | Error msg -> failwith msg
+          in
+          Alcotest.check graph "≡ turtle parse" parsed
+            (Rdf.Columnar.to_graph c))
+
+let test_fold_file_bad_input () =
+  with_temp_nt
+    ~lines:(fun oc ->
+      output_string oc "<http://e.org/n> <http://e.org/a> ;bad .\n")
+    (fun path ->
+      match Turtle.Ntriples.fold_file path (fun n _ -> n + 1) 0 with
+      | Ok _ -> Alcotest.fail "expected an error"
+      | Error msg ->
+          check_bool "position in message" true
+            (String.length msg > 0
+            && String.sub msg 0 13 = "not N-Triples"))
+
+(* The satellite's memory pin: a multi-megabyte N-Triples load must not
+   materialise the source text (or a token list).  The counting fold
+   keeps no per-triple state, so major-heap growth should stay well
+   under the file size — the old slurping loader held the whole file as
+   one string before lexing even started. *)
+let test_streaming_load_memory () =
+  let triples = 60_000 in
+  with_temp_nt
+    ~lines:(fun oc ->
+      for k = 0 to triples - 1 do
+        Printf.fprintf oc
+          "<http://example.org/subject%d> <http://example.org/predicate%d> \
+           \"value %d\" .\n"
+          (k mod 997) (k mod 7) k
+      done)
+    (fun path ->
+      let file_words =
+        Int64.to_int (In_channel.with_open_bin path In_channel.length) / 8
+      in
+      check_bool "file is multi-MB" true (file_words > 400_000);
+      Gc.compact ();
+      let before = (Gc.stat ()).Gc.top_heap_words in
+      let count =
+        match Turtle.Ntriples.fold_file path (fun n _ -> n + 1) 0 with
+        | Ok n -> n
+        | Error msg -> failwith msg
+      in
+      let delta = (Gc.stat ()).Gc.top_heap_words - before in
+      check_int "every triple seen" triples count;
+      if delta >= file_words / 2 then
+        Alcotest.failf
+          "streaming load grew the heap by %d words (file is %d words)"
+          delta file_words)
+
+let interner_tests =
+  [ Alcotest.test_case "resolve ∘ intern = id, dense ids" `Quick
+      test_interner_roundtrip;
+    Alcotest.test_case "interning is idempotent" `Quick
+      test_interner_idempotent;
+    Alcotest.test_case "bnode scoping" `Quick test_interner_bnode_scoping;
+    Alcotest.test_case "compact sorts into term order" `Quick
+      test_interner_compact_sorted;
+    Alcotest.test_case "bad id rejected" `Quick test_interner_bad_id ]
+
+let columnar_tests =
+  [ Alcotest.test_case "of_graph/to_graph roundtrip" `Quick
+      test_columnar_roundtrip;
+    Alcotest.test_case "slices ≡ structural indexes" `Quick
+      test_columnar_slices_agree;
+    Alcotest.test_case "duplicate adds collapse" `Quick test_columnar_dedup;
+    Alcotest.test_case "literal subjects rejected" `Quick
+      test_columnar_literal_subject;
+    Alcotest.test_case "Neigh.of_columnar ≡ Neigh.of_node" `Quick
+      test_neigh_of_columnar;
+    Alcotest.test_case "interned session ≡ structural" `Quick
+      test_interned_session_agrees;
+    Alcotest.test_case "columnar-primary session" `Quick
+      test_session_columnar ]
+
+let streaming_tests =
+  [ Alcotest.test_case "fold_file ≡ parse_file" `Quick
+      test_fold_file_agrees_with_parse;
+    Alcotest.test_case "load_file builds the store" `Quick
+      test_load_file_columnar;
+    Alcotest.test_case "malformed input is an error" `Quick
+      test_fold_file_bad_input;
+    Alcotest.test_case "multi-MB load never slurps the source" `Quick
+      test_streaming_load_memory ]
+
+let suites =
+  [ ("rdf.interner", interner_tests);
+    ("rdf.columnar", columnar_tests);
+    ("turtle.streaming", streaming_tests) ]

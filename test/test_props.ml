@@ -462,6 +462,136 @@ let prop_shexj_verdict_preserved =
                 (Validate.check_bool (Validate.session schema' g) (node "n")
                    l)))
 
+(* ------------------------------------------------------------------ *)
+(* Graph bulk set-ops ≡ per-triple folds                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A wider universe than [gen_graph]'s single-node one: many subjects
+   with links between them, so set-op results carry real subject and
+   object indexes to get wrong.  [union]/[diff] pick between an
+   incremental path and a bulk [of_set] reindex by the [small_delta]
+   size heuristic, so each property pins both branches explicitly. *)
+let gen_wide_triple =
+  QCheck.Gen.(
+    let subj = int_bound 9 >|= fun k -> node (Printf.sprintf "n%d" k) in
+    let obj = oneof [ subj; (int_bound 3 >|= num) ] in
+    subj >>= fun s ->
+    oneofl [ "a"; "b"; "c"; "d" ] >>= fun p ->
+    obj >|= fun o -> Rdf.Triple.make s (ex p) o)
+
+let gen_wide_graph size_gen =
+  QCheck.Gen.(list_size size_gen gen_wide_triple >|= Rdf.Graph.of_list)
+
+let arb_graph_pair =
+  QCheck.make
+    ~print:(fun (g1, g2) ->
+      Format.asprintf "%a@.--@.%a" Rdf.Graph.pp g1 Rdf.Graph.pp g2)
+    QCheck.Gen.(
+      (* One side large, the other either tiny (delta branch) or
+         comparable (bulk branch). *)
+      pair
+        (gen_wide_graph (int_bound 60))
+        (oneof
+           [ gen_wide_graph (int_bound 4); gen_wide_graph (int_bound 60) ]))
+
+(* The secondary indexes agree with the triple set — the invariant the
+   bulk constructors must re-establish without per-triple [add]s. *)
+let well_indexed g =
+  let trs = Rdf.Graph.to_list g in
+  List.for_all
+    (fun n ->
+      List.equal Rdf.Triple.equal
+        (Rdf.Graph.to_list (Rdf.Graph.neighbourhood n g))
+        (List.filter
+           (fun tr -> Rdf.Term.equal (Rdf.Triple.subject tr) n)
+           trs)
+      && List.equal Rdf.Triple.equal
+           (Rdf.Graph.to_list (Rdf.Graph.triples_with_object n g))
+           (List.filter
+              (fun tr -> Rdf.Term.equal (Rdf.Triple.obj tr) n)
+              trs))
+    (Rdf.Graph.nodes g)
+
+let union_fold g1 g2 = Rdf.Graph.fold Rdf.Graph.add g2 g1
+let diff_fold g1 g2 = Rdf.Graph.fold Rdf.Graph.remove g2 g1
+
+let inter_fold g1 g2 =
+  Rdf.Graph.fold
+    (fun tr acc ->
+      if Rdf.Graph.mem tr g2 then Rdf.Graph.add tr acc else acc)
+    g1 Rdf.Graph.empty
+
+(* True when [union g1 g2] (resp. [diff g1 g2]) takes the incremental
+   small-delta path; its negation is the bulk-reindex path. *)
+let delta_branch d g =
+  8 * Rdf.Graph.cardinal d <= Rdf.Graph.cardinal g
+
+let prop_bulk_union_fold =
+  QCheck.Test.make ~count:150 ~name:"bulk union ≡ fold, well-indexed"
+    arb_graph_pair (fun (g1, g2) ->
+      let u = Rdf.Graph.union g1 g2 in
+      Rdf.Graph.equal u (union_fold g1 g2) && well_indexed u)
+
+let prop_union_both_branches =
+  QCheck.Test.make ~count:150 ~name:"union agrees across the size heuristic"
+    arb_graph_pair (fun (g1, g2) ->
+      let small, large =
+        if Rdf.Graph.cardinal g1 >= Rdf.Graph.cardinal g2 then (g2, g1)
+        else (g1, g2)
+      in
+      (* Force the opposite branch by padding the small side with the
+         large one's triples: a self-union is size-balanced, so the
+         bulk path runs even when (g1, g2) took the delta path. *)
+      let balanced = union_fold large small in
+      Rdf.Graph.equal
+        (Rdf.Graph.union balanced large)
+        (union_fold balanced large)
+      && (delta_branch small large
+          || Rdf.Graph.equal (Rdf.Graph.union small large)
+               (union_fold small large)))
+
+let prop_bulk_diff_fold =
+  QCheck.Test.make ~count:150 ~name:"bulk diff ≡ fold, well-indexed"
+    arb_graph_pair (fun (g1, g2) ->
+      let d = Rdf.Graph.diff g1 g2 in
+      let d' = Rdf.Graph.diff g2 g1 in
+      Rdf.Graph.equal d (diff_fold g1 g2)
+      && Rdf.Graph.equal d' (diff_fold g2 g1)
+      && well_indexed d && well_indexed d')
+
+let prop_bulk_inter_fold =
+  QCheck.Test.make ~count:150 ~name:"bulk inter ≡ fold, well-indexed"
+    arb_graph_pair (fun (g1, g2) ->
+      let i = Rdf.Graph.inter g1 g2 in
+      Rdf.Graph.equal i (inter_fold g1 g2) && well_indexed i)
+
+let prop_bulk_filter_fold =
+  QCheck.Test.make ~count:150 ~name:"bulk filter ≡ fold, well-indexed"
+    arb_graph_pair (fun (g1, g2) ->
+      let keep tr = Rdf.Graph.mem tr g2 || Rdf.Term.is_literal (Rdf.Triple.obj tr) in
+      let f = Rdf.Graph.filter keep g1 in
+      Rdf.Graph.equal f
+        (Rdf.Graph.fold
+           (fun tr acc -> if keep tr then Rdf.Graph.add tr acc else acc)
+           g1 Rdf.Graph.empty)
+      && well_indexed f)
+
+let prop_columnar_roundtrip =
+  QCheck.Test.make ~count:150 ~name:"columnar of_graph/to_graph roundtrip"
+    arb_graph_pair (fun (g1, g2) ->
+      (* Union first so the round-tripped graph exercises the bulk
+         constructors' output, not just generator output. *)
+      let g = Rdf.Graph.union g1 g2 in
+      let c = Rdf.Columnar.of_graph g in
+      let g' = Rdf.Columnar.to_graph c in
+      Rdf.Graph.equal g g' && well_indexed g'
+      && List.for_all
+           (fun n ->
+             List.equal Shex.Neigh.equal
+               (Neigh.of_node ~include_inverse:true n g)
+               (Neigh.of_columnar ~include_inverse:true n c))
+           (Rdf.Graph.nodes g))
+
 let tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_deriv_equals_backtrack;
@@ -491,6 +621,12 @@ let tests =
       prop_canonical_agrees_with_renaming;
       prop_skolem_roundtrip;
       prop_shexj_roundtrip;
-      prop_shexj_verdict_preserved ]
+      prop_shexj_verdict_preserved;
+      prop_bulk_union_fold;
+      prop_union_both_branches;
+      prop_bulk_diff_fold;
+      prop_bulk_inter_fold;
+      prop_bulk_filter_fold;
+      prop_columnar_roundtrip ]
 
 let suites = [ ("properties", tests) ]
