@@ -1456,6 +1456,142 @@ let e17 () =
      column slices@.  outruns the balanced-tree neighbourhood lookups.@."
 
 (* ------------------------------------------------------------------ *)
+(* E18: schema static analysis                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A depth-k cyclic chain of shapes S_i ::= p→int ‖ (next→@S_{i+1})⋆
+   (indices mod k), with v2 widening S_0 by one optional extra arc.
+   No shape is congruent across the pair — every S_i transitively
+   reaches the widened S_0 — so check_compat has to run the full
+   coinductive product search for each of the k pairs, and the states
+   counter measures derivative-space growth against schema size. *)
+let e18_chain ~depth ~widen =
+  let lbl i =
+    Shex.Label.of_string (Printf.sprintf "http://example.org/S%d" i)
+  in
+  let p = Rdf.Iri.of_string_exn "http://example.org/p"
+  and next = Rdf.Iri.of_string_exn "http://example.org/next"
+  and extra = Rdf.Iri.of_string_exn "http://example.org/extra" in
+  Shex.Schema.make_exn
+    (List.init depth (fun i ->
+         let base =
+           Shex.Rse.and_
+             (Shex.Rse.arc_v
+                (Shex.Value_set.Pred p)
+                (Shex.Value_set.Obj_datatype Rdf.Xsd.Integer))
+             (Shex.Rse.star
+                (Shex.Rse.arc_ref
+                   (Shex.Value_set.Pred next)
+                   (lbl ((i + 1) mod depth))))
+         in
+         let e =
+           if widen && i = 0 then
+             Shex.Rse.and_ base
+               (Shex.Rse.opt
+                  (Shex.Rse.arc_v
+                     (Shex.Value_set.Pred extra)
+                     Shex.Value_set.Obj_any))
+           else base
+         in
+         (lbl i, e)))
+
+let e18 () =
+  header
+    "E18 Schema static analysis \xe2\x80\x94 product-search growth and the \
+     pre-validation optimizer's win";
+  row
+    "  -- check_compat states/time vs schema size (cyclic ref chain, v2 \
+     widens S0) --@.";
+  row "  %-7s %-8s %-10s %-12s %-10s@." "depth" "shapes" "states" "compat"
+    "verdicts";
+  let depths =
+    if !smoke then [ 2; 4 ]
+    else if !quick then [ 2; 4; 6 ]
+    else [ 2; 4; 6; 8 ]
+  in
+  List.iter
+    (fun depth ->
+      let v1 = e18_chain ~depth ~widen:false
+      and v2 = e18_chain ~depth ~widen:true in
+      let tele = Telemetry.create () in
+      let states = Telemetry.counter tele "analysis_states_explored" in
+      let t0 = Unix.gettimeofday () in
+      let report = Analysis.check_compat ~tele v1 v2 in
+      let dt = Unix.gettimeofday () -. t0 in
+      let contained =
+        List.for_all
+          (fun (it : Analysis.compat_item) ->
+            match it.Analysis.verdict with
+            | Analysis.Contained -> true
+            | _ -> false)
+          report.Analysis.items
+      in
+      jrow
+        [ ("depth", jint depth);
+          ("states", jint (Telemetry.Counter.value states));
+          ("compat_ms", jflt (ms dt));
+          ("all_contained", Json.Bool contained) ];
+      row "  %-7d %-8d %-10d %9.1f ms %-10s@." depth depth
+        (Telemetry.Counter.value states)
+        (ms dt)
+        (if contained then "contained" else "NOT-CONTAINED"))
+    depths;
+  (* -- the optimizer's win: a k-way Or of singleton value sets is
+     merged into one value-set arc, so the derivative stops scanning k
+     disjuncts per triple.  Same graph, same verdicts, both arms. -- *)
+  row "@.  -- pre-validation optimizer: k-way Or of singleton values --@.";
+  row "  %-5s %-12s %-12s %-8s@." "k" "original" "optimized" "speedup";
+  let ks = if !smoke then [ 8 ] else if !quick then [ 4; 16 ] else [ 4; 16; 64 ] in
+  List.iter
+    (fun k ->
+      let p = Rdf.Iri.of_string_exn "http://example.org/a" in
+      let arc j =
+        Shex.Rse.arc_v (Shex.Value_set.Pred p)
+          (Shex.Value_set.obj_terms [ Rdf.Term.int j ])
+      in
+      let ored =
+        List.fold_left
+          (fun acc j -> Shex.Rse.or_ acc (arc j))
+          (arc 0)
+          (List.init (k - 1) (fun j -> j + 1))
+      in
+      let lbl = Shex.Label.of_string "http://example.org/S" in
+      let schema = Shex.Schema.make_exn [ (lbl, ored) ] in
+      let optimized = Analysis.optimize schema in
+      let n_nodes = if !smoke then 2_000 else 20_000 in
+      let graph =
+        Rdf.Graph.of_list
+          (List.init n_nodes (fun i ->
+               Rdf.Triple.make
+                 (Rdf.Term.iri (Printf.sprintf "http://example.org/n%d" i))
+                 p
+                 (Rdf.Term.int (i mod k))))
+      in
+      let validate s =
+        let session = Shex.Validate.session s graph in
+        Shex.Typing.cardinal (Shex.Validate.validate_graph session)
+      in
+      let typed_orig = validate schema and typed_opt = validate optimized in
+      if typed_orig <> typed_opt then
+        failwith "E18: optimizer changed verdicts";
+      let t_orig = time_per_run (fun () -> validate schema)
+      and t_opt = time_per_run (fun () -> validate optimized) in
+      jrow
+        [ ("k", jint k); ("typed", jint typed_orig);
+          ("original_ms", jflt (ms t_orig)); ("optimized_ms", jflt (ms t_opt));
+          ("speedup", jflt (t_orig /. t_opt)) ];
+      row "  %-5d %9.2f ms %9.2f ms %7.2fx@." k (ms t_orig) (ms t_opt)
+        (t_orig /. t_opt))
+    ks;
+  row
+    "@.  Expectation: the product search stays polynomial in the chain \
+     depth \xe2\x80\x94 the@.  coinductive assumption discharge keeps \
+     ref-letters out of the alphabet, so the@.  per-pair space is the \
+     diagonal, not the full product \xe2\x80\x94 and the optimizer's@.  \
+     value-set merge turns a k-disjunct scan per triple into one \
+     membership test,@.  with verdicts unchanged.@."
+
+(* ------------------------------------------------------------------ *)
 (* Baseline comparison (--baseline)                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1696,7 +1832,7 @@ let all_experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17) ]
+    ("E17", e17); ("E18", e18) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1747,7 +1883,7 @@ let () =
     | a :: _ when String.length a > 1 && a.[0] = '-' ->
         Printf.eprintf
           "unknown option: %s\n\
-           usage: main.exe [E1 .. E17] [--quick] [--smoke] [--json FILE] \
+           usage: main.exe [E1 .. E18] [--quick] [--smoke] [--json FILE] \
            [--baseline FILE] [--trace-chrome FILE] [--domains N] [--micro]\n"
           a;
         exit 2

@@ -8,6 +8,12 @@
      {"cmd":"delete","triples":TURTLE}            apply triple deletes
      {"cmd":"query","node":IRI,"shape":LABEL}     one verdict
      {"cmd":"metrics"}                            telemetry snapshot + uptime
+     {"cmd":"analyze"}                            static analysis of the
+                                                  loaded schema (emptiness,
+                                                  dead/unreachable rules)
+     {"cmd":"analyze","compat":FILE}              containment check of the
+                                                  loaded schema against a
+                                                  proposed replacement
      {"cmd":"slowlog"[,"threshold_ms":N][,"clear":true]}
                                                   slow-validation ring buffer
      {"cmd":"shutdown"}                           exit 0
@@ -243,6 +249,69 @@ let handle st obs cmd =
         match Telemetry.Window.summary obs.window with
         | Some s -> [ ("window", Telemetry.Window.summary_to_json s) ]
         | None -> [])
+  | Some "analyze" -> (
+      let session = require_session st in
+      let schema = Shex_incremental.Session.schema session in
+      match Json.find_string "compat" cmd with
+      | Some path ->
+          (* Containment of the *loaded* schema in a proposed
+             replacement: "is this schema upgrade safe for the data
+             already conforming here?" *)
+          let proposed = load_schema path in
+          let report = Analysis.check_compat ~tele:st.tele schema proposed in
+          let item_json (it : Analysis.compat_item) =
+            let verdict, detail =
+              match it.Analysis.verdict with
+              | Analysis.Contained -> ("contained", [])
+              | Analysis.Refuted w ->
+                  ( "refuted",
+                    [ ("focus", Json.String (Rdf.Term.to_string w.Analysis.focus));
+                      ( "counterexample_triples",
+                        Json.int (Rdf.Graph.cardinal w.Analysis.graph) ) ] )
+              | Analysis.Inconclusive m ->
+                  ("inconclusive", [ ("detail", Json.String m) ])
+            in
+            Json.Object
+              (( "shape",
+                 Json.String (Shex.Label.to_string it.Analysis.label) )
+              :: ("verdict", Json.String verdict)
+              :: detail)
+          in
+          let labels ls =
+            Json.Array
+              (List.map (fun l -> Json.String (Shex.Label.to_string l)) ls)
+          in
+          Json.Object
+            [ ("ok", Json.Bool true);
+              ("shapes", Json.Array (List.map item_json report.Analysis.items));
+              ("removed", labels report.Analysis.removed);
+              ("added", labels report.Analysis.added) ]
+      | None ->
+          let hyg = Analysis.hygiene schema in
+          let mem l ls = List.exists (Shex.Label.equal l) ls in
+          let shape_json l =
+            let satisfiable =
+              match Analysis.shape_satisfiable ~tele:st.tele schema l with
+              | Analysis.Satisfiable _ -> Json.Bool true
+              | Analysis.Empty -> Json.Bool false
+              | Analysis.Unknown m -> Json.String ("unknown: " ^ m)
+            in
+            Json.Object
+              [ ("shape", Json.String (Shex.Label.to_string l));
+                ("satisfiable", satisfiable);
+                ("unreachable", Json.Bool (mem l hyg.Analysis.unreachable)) ]
+          in
+          let labels ls =
+            Json.Array
+              (List.map (fun l -> Json.String (Shex.Label.to_string l)) ls)
+          in
+          Json.Object
+            [ ("ok", Json.Bool true);
+              ( "shapes",
+                Json.Array (List.map shape_json (Shex.Schema.labels schema)) );
+              ("dead", labels hyg.Analysis.unsatisfiable);
+              ("unreachable", labels hyg.Analysis.unreachable);
+              ("roots", labels hyg.Analysis.roots) ])
   | Some "slowlog" ->
       let session = require_session st in
       let vs = Shex_incremental.Session.validation session in
@@ -264,7 +333,7 @@ let handle st obs cmd =
   | Some "shutdown" -> raise (Quit (Json.Object [ ("ok", Json.Bool true) ]))
   | Some other ->
       bad "unknown command %S (known: load, insert, delete, query, \
-           metrics, slowlog, shutdown)"
+           metrics, analyze, slowlog, shutdown)"
         other
 
 let answer_line json = Printf.printf "%s\n%!" (Json.to_string ~minify:true json)

@@ -177,15 +177,116 @@ let infer_cmd data_path label_name nodes_text =
       Printf.eprintf "%s\n" msg;
       exit 2
 
-(* --oracle seeds=N[,start=S][,mode=surface|extended|edits][,dir=DIR]:
-   run the cross-engine differential campaign and exit — 0 when every
-   arm agreed on every seed, 1 when divergences were found (shrunk
-   repro files land in DIR when given).  mode=edits replays seeded
-   insert/delete scripts through an incremental session and diffs
-   every verdict against a from-scratch run after each edit.
+(* ------------------------------------------------------------------ *)
+(* Static analysis commands (lib/analysis)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* --analyze: schema hygiene + per-shape emptiness.  Exit 0 when every
+   rule is reachable and satisfiable, 1 when dead or unreachable rules
+   were found, 3 when the only findings are Unknown (search capped). *)
+let analyze_cmd schema =
+  let h = Analysis.hygiene schema in
+  Printf.printf "roots: %s\n"
+    (String.concat ", " (List.map Shex.Label.to_string h.Analysis.roots));
+  let unknowns = ref 0 in
+  List.iter
+    (fun l ->
+      let verdict = Analysis.shape_satisfiable schema l in
+      (match verdict with Analysis.Unknown _ -> incr unknowns | _ -> ());
+      Printf.printf "%s: %s%s\n"
+        (Shex.Label.to_string l)
+        (Format.asprintf "%a" Analysis.pp_emptiness verdict)
+        (if List.exists (Shex.Label.equal l) h.Analysis.unreachable then
+           " [unreachable]"
+         else ""))
+    (Shex.Schema.labels schema);
+  if h.Analysis.unsatisfiable <> [] then
+    Printf.printf "dead rules: %s\n"
+      (String.concat ", "
+         (List.map Shex.Label.to_string h.Analysis.unsatisfiable));
+  if h.Analysis.unreachable <> [] then
+    Printf.printf "unreachable rules: %s\n"
+      (String.concat ", "
+         (List.map Shex.Label.to_string h.Analysis.unreachable));
+  exit
+    (if h.Analysis.unsatisfiable <> [] || h.Analysis.unreachable <> [] then 1
+     else if !unknowns > 0 then 3
+     else 0)
+
+(* --check-compat "OLD NEW" (or OLD,NEW): the deploy gate.  Exit 0
+   when every shared label is contained (v1-valid nodes stay valid),
+   1 with a replayable Turtle counterexample otherwise, 3 when some
+   verdict was inconclusive and none was refuted. *)
+let check_compat_cmd spec =
+  let parts =
+    String.split_on_char ','
+      (String.concat "," (String.split_on_char ' ' spec))
+    |> List.filter (fun s -> s <> "")
+  in
+  let old_path, new_path =
+    match parts with
+    | [ a; b ] -> (a, b)
+    | _ ->
+        failwith
+          "--check-compat expects two schema files: --check-compat \
+           'OLD NEW' (or OLD,NEW)"
+  in
+  let s_old = load_schema old_path and s_new = load_schema new_path in
+  let compat = Analysis.check_compat s_old s_new in
+  let refuted = ref 0 and inconclusive = ref 0 in
+  List.iter
+    (fun (it : Analysis.compat_item) ->
+      Printf.printf "%s: %s\n"
+        (Shex.Label.to_string it.Analysis.label)
+        (Format.asprintf "%a" Analysis.pp_containment it.Analysis.verdict);
+      match it.Analysis.verdict with
+      | Analysis.Refuted w ->
+          incr refuted;
+          Printf.printf
+            "  counterexample (valid under %s, invalid under %s):\n" old_path
+            new_path;
+          Printf.printf "  focus: %s\n" (Rdf.Term.to_string w.Analysis.focus);
+          String.split_on_char '\n' (Analysis.witness_turtle w)
+          |> List.iter (fun line ->
+                 if line <> "" then Printf.printf "    %s\n" line)
+      | Analysis.Inconclusive _ -> incr inconclusive
+      | Analysis.Contained -> ())
+    compat.Analysis.items;
+  List.iter
+    (fun l ->
+      Printf.printf "removed: %s (present only in %s)\n"
+        (Shex.Label.to_string l) old_path)
+    compat.Analysis.removed;
+  List.iter
+    (fun l ->
+      Printf.printf "added: %s (present only in %s)\n"
+        (Shex.Label.to_string l) new_path)
+    compat.Analysis.added;
+  exit (if !refuted > 0 then 1 else if !inconclusive > 0 then 3 else 0)
+
+(* --optimize: print the optimised schema as ShExC. *)
+let optimize_cmd schema =
+  let opt, n = Analysis.optimize_stats schema in
+  print_string (Shexc.Shexc_printer.schema_to_string opt);
+  Printf.eprintf "optimizer: %d shape%s rewritten\n" n
+    (if n = 1 then "" else "s");
+  exit 0
+
+(* --oracle seeds=N[,start=S][,mode=surface|extended|edits|containment|
+   optimizer][,dir=DIR]: run a differential campaign and exit — 0 when
+   every arm agreed on every seed, 1 when divergences were found
+   (shrunk repro files land in DIR when given).  mode=edits replays
+   seeded insert/delete scripts through an incremental session and
+   diffs every verdict against a from-scratch run after each edit;
+   mode=containment attacks the static-analysis containment verdicts;
+   mode=optimizer pins optimised ≡ unoptimised validation reports.
    --oracle replay=FILE re-runs a repro document instead: 0 when every
    arm now agrees. *)
-type oracle_mode = Gen of Workload.Rand_gen.mode | Edits
+type oracle_mode =
+  | Gen of Workload.Rand_gen.mode
+  | Edits
+  | Containment
+  | Optimizer
 
 let oracle_cmd spec =
   let seeds = ref None
@@ -219,11 +320,13 @@ let oracle_cmd spec =
           | "mode", "surface" -> mode := Gen Workload.Rand_gen.Surface
           | "mode", "extended" -> mode := Gen Workload.Rand_gen.Extended
           | "mode", "edits" -> mode := Edits
+          | "mode", "containment" -> mode := Containment
+          | "mode", "optimizer" -> mode := Optimizer
           | "mode", v ->
               failwith
                 (Printf.sprintf
-                   "--oracle: mode must be surface, extended or edits \
-                    (got %S)" v)
+                   "--oracle: mode must be surface, extended, edits, \
+                    containment or optimizer (got %S)" v)
           | "dir", v -> dir := Some v
           | "replay", v -> replay := Some v
           | k, _ ->
@@ -255,6 +358,44 @@ let oracle_cmd spec =
     (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755)
     !dir;
   match !mode with
+  | Containment ->
+      let s =
+        Oracle.run_containment_campaign ~log:prerr_endline ~first_seed:!start
+          ~count ()
+      in
+      Printf.printf
+        "oracle: %d seeds checked (containment arm, seeds %d-%d): %d \
+         contained fuzz-checked, %d counterexamples re-verified, %d \
+         inconclusive, %d finding%s\n"
+        count !start
+        (!start + count - 1)
+        s.Oracle.Analysis_arm.contained s.Oracle.Analysis_arm.refuted
+        s.Oracle.Analysis_arm.inconclusive
+        (List.length s.Oracle.Analysis_arm.findings)
+        (if List.length s.Oracle.Analysis_arm.findings = 1 then "" else "s");
+      List.iter
+        (fun (f : Oracle.Analysis_arm.finding) ->
+          Printf.printf "  seed %d: %s\n" f.seed f.detail)
+        s.Oracle.Analysis_arm.findings;
+      exit (if s.Oracle.Analysis_arm.findings = [] then 0 else 1)
+  | Optimizer ->
+      let s =
+        Oracle.run_optimizer_campaign ~log:prerr_endline ~first_seed:!start
+          ~count ()
+      in
+      Printf.printf
+        "oracle: %d seeds checked (optimizer arm, seeds %d-%d): %d \
+         rewritten, reports byte-compared, %d finding%s\n"
+        count !start
+        (!start + count - 1)
+        s.Oracle.Analysis_arm.rewritten
+        (List.length s.Oracle.Analysis_arm.findings)
+        (if List.length s.Oracle.Analysis_arm.findings = 1 then "" else "s");
+      List.iter
+        (fun (f : Oracle.Analysis_arm.finding) ->
+          Printf.printf "  seed %d: %s\n" f.seed f.detail)
+        s.Oracle.Analysis_arm.findings;
+      exit (if s.Oracle.Analysis_arm.findings = [] then 0 else 1)
   | Edits ->
       let summary =
         Oracle.run_edits_campaign ?dir:!dir ~log:prerr_endline
@@ -498,13 +639,26 @@ let obs_get_cmd url =
       print_string body;
       exit (if status >= 200 && status < 300 then 0 else 1)
 
-let validate_cmd oracle serve obs_port obs_interval journal journal_max_kb
+let validate_cmd oracle analyze check_compat optimize serve obs_port
+    obs_interval journal journal_max_kb
     journal_replay obs_get schema_path data_path node_opt shape_opt
     shape_map_opt engine domains interned profile slow_ms engine_stats metrics
     trace_json trace_chrome trace_folded explain trace show_sparql
     export_shexj json result_map quiet infer_nodes infer_label =
   try
     (match oracle with Some spec -> oracle_cmd spec | None -> ());
+    (match check_compat with Some spec -> check_compat_cmd spec | None -> ());
+    if analyze || optimize then begin
+      let path =
+        match schema_path with
+        | Some p -> p
+        | None ->
+            Printf.eprintf "--schema is required with --analyze/--optimize\n";
+            exit 2
+      in
+      let schema = load_schema path in
+      if analyze then analyze_cmd schema else optimize_cmd schema
+    end;
     (match obs_get with Some url -> obs_get_cmd url | None -> ());
     (match journal_replay with
     | Some path -> journal_replay_cmd path ~json
@@ -767,6 +921,44 @@ let oracle_arg =
            $(b,replay=FILE) re-runs a previously written repro \
            document instead.")
 
+let analyze_arg =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Static analysis of $(b,--schema): satisfiability of every \
+           shape (nullability-guided derivative-space search, with a \
+           verified concrete witness for each satisfiable shape) plus \
+           dead-rule and unreachable-shape detection from the focus \
+           roots.  Exits 0 when every rule is live and reachable, 1 \
+           when dead or unreachable rules were found, 3 when a search \
+           was inconclusive.")
+
+let check_compat_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "check-compat" ] ~docv:"'OLD NEW'"
+        ~doc:
+          "Deploy gate: check that every node valid under schema \
+           $(b,OLD) stays valid under schema $(b,NEW) (containment by \
+           product-derivative search, label by label).  Counterexamples \
+           are printed as replayable Turtle neighbourhoods.  Exits 0 \
+           when every shared label is contained, 1 on a refutation, 3 \
+           when some verdict was inconclusive.  The two paths are \
+           separated by a space or a comma.")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "optimize" ]
+        ~doc:
+          "Print $(b,--schema) rewritten by the pre-validation \
+           optimizer as ShExC: value-set normalisation and merging, \
+           provably-empty disjunct pruning, conjunct hoisting out of \
+           alternatives.  The differential oracle's optimizer arm pins \
+           the rewrite to identical validation verdicts.")
+
 let serve_arg =
   Arg.(
     value & flag
@@ -864,7 +1056,8 @@ let cmd =
   Cmd.v
     (Cmd.info "shex-validate" ~doc ~man)
     Term.(
-      const validate_cmd $ oracle_arg $ serve_arg $ obs_port_arg
+      const validate_cmd $ oracle_arg $ analyze_arg $ check_compat_arg
+      $ optimize_arg $ serve_arg $ obs_port_arg
       $ obs_interval_arg $ journal_arg $ journal_max_kb_arg
       $ journal_replay_arg $ obs_get_arg $ schema_arg $ data_arg
       $ node_arg

@@ -31,9 +31,25 @@ let arc_equal a b =
   && obj_spec_equal a.obj b.obj
   && Bool.equal a.inverse b.inverse
 
-(* Arcs are pure first-order data, so the polymorphic compare is a
-   valid total order (same argument as [compare] below). *)
-let arc_compare (a : arc) (b : arc) = Stdlib.compare a b
+(* Structural comparators, kept in lock-step with [equal]/[arc_equal]:
+   the ACI sort/dedup below and every ordered container over RSEs
+   require compare=0 ⇔ equal.  The polymorphic [Stdlib.compare] used
+   to stand here; it happened to agree while every leaf was plain
+   first-order data, but any representation change (cached hash,
+   interned id) would have broken the coincidence silently. *)
+let obj_spec_compare a b =
+  match (a, b) with
+  | Values x, Values y -> Value_set.obj_compare x y
+  | Ref x, Ref y -> Label.compare x y
+  | Values _, Ref _ -> -1
+  | Ref _, Values _ -> 1
+
+let arc_compare (a : arc) (b : arc) =
+  let c = Value_set.pred_compare a.pred b.pred in
+  if c <> 0 then c
+  else
+    let c = obj_spec_compare a.obj b.obj in
+    if c <> 0 then c else Bool.compare a.inverse b.inverse
 
 let rec equal a b =
   match (a, b) with
@@ -45,9 +61,25 @@ let rec equal a b =
   | Not x, Not y -> equal x y
   | (Empty | Epsilon | Arc _ | Star _ | And _ | Or _ | Not _), _ -> false
 
-(* The AST is pure first-order data (variants, strings, lists), so the
-   polymorphic compare is a valid total order. *)
-let compare (a : t) (b : t) = Stdlib.compare a b
+let rank = function
+  | Empty -> 0
+  | Epsilon -> 1
+  | Arc _ -> 2
+  | Star _ -> 3
+  | And _ -> 4
+  | Or _ -> 5
+  | Not _ -> 6
+
+let rec compare a b =
+  match (a, b) with
+  | Empty, Empty | Epsilon, Epsilon -> 0
+  | Arc x, Arc y -> arc_compare x y
+  | Star x, Star y | Not x, Not y -> compare x y
+  | And (x1, x2), And (y1, y2) | Or (x1, x2), Or (y1, y2) ->
+      let c = compare x1 y1 in
+      if c <> 0 then c else compare x2 y2
+  | (Empty | Epsilon | Arc _ | Star _ | And _ | Or _ | Not _), _ ->
+      Int.compare (rank a) (rank b)
 
 (* Simplification rules of §4 plus the standard star/complement laws,
    strengthened with ACI normalisation in the style of Owens, Reppy &

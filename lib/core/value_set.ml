@@ -95,6 +95,61 @@ let rec obj_equal a b =
       _ ) ->
       false
 
+(* Structural total orders consistent with [pred_equal]/[obj_equal].
+   [Rse]'s ACI normalisation sorts and deduplicates with these, and the
+   analysis visited-set relies on compare=0 coinciding with the
+   equality used everywhere else — a polymorphic [Stdlib.compare]
+   would silently diverge the moment any constituent type gains a
+   cached field or non-canonical representation. *)
+
+let pred_rank = function
+  | Pred _ -> 0
+  | Pred_in _ -> 1
+  | Pred_stem _ -> 2
+  | Pred_any -> 3
+  | Pred_compl _ -> 4
+
+let rec pred_compare a b =
+  match (a, b) with
+  | Pred x, Pred y -> Rdf.Iri.compare x y
+  | Pred_in xs, Pred_in ys -> List.compare Rdf.Iri.compare xs ys
+  | Pred_stem x, Pred_stem y -> String.compare x y
+  | Pred_any, Pred_any -> 0
+  | Pred_compl xs, Pred_compl ys -> List.compare pred_compare xs ys
+  | (Pred _ | Pred_in _ | Pred_stem _ | Pred_any | Pred_compl _), _ ->
+      Int.compare (pred_rank a) (pred_rank b)
+
+let kind_rank = function
+  | Iri_kind -> 0
+  | Bnode_kind -> 1
+  | Literal_kind -> 2
+  | Non_literal_kind -> 3
+
+let obj_rank = function
+  | Obj_any -> 0
+  | Obj_in _ -> 1
+  | Obj_datatype _ -> 2
+  | Obj_datatype_iri _ -> 3
+  | Obj_kind _ -> 4
+  | Obj_stem _ -> 5
+  | Obj_or _ -> 6
+  | Obj_not _ -> 7
+
+let rec obj_compare a b =
+  match (a, b) with
+  | Obj_any, Obj_any -> 0
+  | Obj_in xs, Obj_in ys -> List.compare Rdf.Term.compare xs ys
+  | Obj_datatype x, Obj_datatype y -> Stdlib.compare x y
+  | Obj_datatype_iri x, Obj_datatype_iri y -> Rdf.Iri.compare x y
+  | Obj_kind x, Obj_kind y -> Int.compare (kind_rank x) (kind_rank y)
+  | Obj_stem x, Obj_stem y -> String.compare x y
+  | Obj_or xs, Obj_or ys -> List.compare obj_compare xs ys
+  | Obj_not x, Obj_not y -> obj_compare x y
+  | ( ( Obj_any | Obj_in _ | Obj_datatype _ | Obj_datatype_iri _ | Obj_kind _
+      | Obj_stem _ | Obj_or _ | Obj_not _ ),
+      _ ) ->
+      Int.compare (obj_rank a) (obj_rank b)
+
 let pred_members = function
   | Pred i -> Some [ i ]
   | Pred_in is -> Some is

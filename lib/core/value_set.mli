@@ -56,6 +56,13 @@ val xsd_date : obj
 val pred_equal : pred -> pred -> bool
 val obj_equal : obj -> obj -> bool
 
+val pred_compare : pred -> pred -> int
+val obj_compare : obj -> obj -> int
+(** Structural total orders, consistent with {!pred_equal} /
+    {!obj_equal}: [compare a b = 0 ⇔ equal a b].  {!Rse}'s ACI
+    normalisation and the analysis visited-set depend on this
+    coincidence. *)
+
 val pred_members : pred -> Rdf.Iri.t list option
 (** The finite enumeration when the set is one ([Pred], [Pred_in]);
     [None] for stems, wildcards and complements. *)

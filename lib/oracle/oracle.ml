@@ -260,10 +260,10 @@ let set_shape shapes l shape' =
 
 (* Shrink one rule to a local minimum: focus first, then expression
    candidates, restarting after every accepted step. *)
-let shrink_rule graph assocs target shapes l =
+let shrink_rule graph assocs keep shapes l =
   let try_schema shapes' =
     match rebuild_schema shapes' with
-    | Some s when still s graph assocs target -> Some shapes'
+    | Some s when keep s graph assocs -> Some shapes'
     | Some _ | None -> None
   in
   let rec go shapes =
@@ -287,40 +287,47 @@ let shrink_rule graph assocs target shapes l =
 
 (* [rebuild_schema] rejects dangling references, so the guard also
    rules out dropping a rule that something still points at. *)
-let drop_unused_rules graph assocs target shapes =
+let drop_unused_rules graph assocs keep shapes =
   greedy_drop shapes (fun shapes' ->
       List.for_all (fun (_, l) -> List.mem_assoc l shapes') assocs
       &&
       match rebuild_schema shapes' with
-      | Some s -> still s graph assocs target
+      | Some s -> keep s graph assocs
       | None -> false)
 
-let shrink schema graph assocs target =
+(* Predicate-driven shrink core.  [keep candidate_schema candidate_graph
+   candidate_assocs] decides whether a shrink step preserves the property
+   being minimised; any property works — an engine divergence (see
+   [shrink]), a containment counterexample ("focus satisfies S1 and
+   fails S2", with S2 closed over by the predicate), or anything else a
+   caller wants a minimal exhibit of. *)
+let shrink_with ~keep schema graph assocs =
   let assocs =
-    match
-      List.find_opt (fun a -> still schema graph [ a ] target) assocs
-    with
+    match List.find_opt (fun a -> keep schema graph [ a ]) assocs with
     | Some a -> [ a ]
-    | None -> greedy_drop assocs (fun c -> still schema graph c target)
+    | None -> greedy_drop assocs (fun c -> keep schema graph c)
   in
   let shrink_graph schema graph =
     Rdf.Graph.of_list
       (greedy_drop (Rdf.Graph.to_list graph) (fun triples ->
-           still schema (Rdf.Graph.of_list triples) assocs target))
+           keep schema (Rdf.Graph.of_list triples) assocs))
   in
   let graph = shrink_graph schema graph in
   let shapes =
     List.fold_left
-      (fun shapes (l, _) -> shrink_rule graph assocs target shapes l)
+      (fun shapes (l, _) -> shrink_rule graph assocs keep shapes l)
       (Shex.Schema.shapes schema)
       (Shex.Schema.shapes schema)
   in
-  let shapes = drop_unused_rules graph assocs target shapes in
+  let shapes = drop_unused_rules graph assocs keep shapes in
   let schema =
     match rebuild_schema shapes with Some s -> s | None -> schema
   in
   let graph = shrink_graph schema graph in
   (schema, graph, assocs)
+
+let shrink schema graph assocs target =
+  shrink_with ~keep:(fun s g a -> still s g a target) schema graph assocs
 
 (* Edits shrink: associations, then script entries, then initial
    triples.  [Shex_incremental.Session.apply] treats inserts of
@@ -640,3 +647,237 @@ let run_edits_campaign ?dir ?(log = ignore) ?(script_len = 12) ~first_seed
         findings := finding :: !findings
   done;
   { Edits.seeds_run = count; findings = List.rev !findings }
+
+(* ------------------------------------------------------------------ *)
+(* Static-analysis arms                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Analysis_arm = struct
+  type finding = { seed : int; detail : string }
+
+  type containment_summary = {
+    seeds_run : int;
+    contained : int;
+    refuted : int;
+    inconclusive : int;
+    findings : finding list;
+  }
+
+  type optimizer_summary = {
+    seeds_run : int;
+    rewritten : int;  (** seeds where the optimizer changed ≥ 1 shape *)
+    findings : finding list;
+  }
+end
+
+(* Seeded semantic mutation for containment pairs.  Per rule: keep it
+   unchanged (exercising the congruence fast path), widen it — [e?],
+   [e ‖ junk⋆] and [e | fresh-arc] all accept every bag [e] accepts,
+   so v1 ⊑ v2 is expected — or narrow it with an extra required arc,
+   so counterexample witnesses are expected. *)
+let mutate_schema rng (schema : Shex.Schema.t) =
+  let module R = Shex.Rse in
+  let module V = Shex.Value_set in
+  let preds =
+    List.concat_map
+      (fun (_, (sh : Shex.Schema.shape)) ->
+        List.filter_map
+          (fun (a : R.arc) ->
+            match a.R.pred with V.Pred p -> Some p | _ -> None)
+          (R.arcs sh.Shex.Schema.expr))
+      (Shex.Schema.shapes schema)
+  in
+  let fresh = Rdf.Iri.of_string_exn "http://mutation.invalid/extra" in
+  let widen rng e =
+    match Workload.Prng.int rng 3 with
+    | 0 -> R.opt e
+    | 1 ->
+        let p = match preds with [] -> fresh | ps -> Workload.Prng.pick rng ps in
+        R.and_ e (R.star (R.arc_v (V.Pred p) V.Obj_any))
+    | _ -> R.or_ e (R.arc_v (V.Pred fresh) V.Obj_any)
+  in
+  let narrow e = R.and_ e (R.arc_v (V.Pred fresh) V.Obj_any) in
+  let shapes =
+    List.map
+      (fun (l, (sh : Shex.Schema.shape)) ->
+        let sh =
+          match Workload.Prng.int rng 10 with
+          | 0 | 1 | 2 | 3 | 4 -> sh
+          | 5 | 6 | 7 -> { sh with Shex.Schema.expr = widen rng sh.Shex.Schema.expr }
+          | _ -> { sh with Shex.Schema.expr = narrow sh.Shex.Schema.expr }
+        in
+        (l, sh))
+      (Shex.Schema.shapes schema)
+  in
+  match Shex.Schema.make_shapes shapes with Ok s -> s | Error _ -> schema
+
+(* Candidate focus nodes for fuzzing a Contained claim: everything the
+   workload generator produced plus every graph node. *)
+let fuzz_nodes (case : Workload.Rand_gen.case) extra_graph =
+  let add acc t = if List.exists (Rdf.Term.equal t) acc then acc else t :: acc in
+  let of_graph g acc =
+    List.fold_left
+      (fun acc (tr : Rdf.Triple.t) ->
+        add (add acc tr.Rdf.Triple.s) tr.Rdf.Triple.o)
+      acc (Rdf.Graph.to_list g)
+  in
+  let acc = List.fold_left (fun acc (n, _) -> add acc n) [] case.associations in
+  of_graph extra_graph (of_graph case.graph acc)
+
+(* Containment arm: derive a mutated v2 from each seeded schema, run
+   [Analysis.check_compat], then attack both verdict directions —
+   a [Contained] claim must survive fuzzing (no generated node may
+   satisfy v1@l and fail v2@l), and a [Refuted] witness must concretely
+   validate under v1 and fail v2, directly, after a Turtle round-trip,
+   and after delta-shrinking with the witness-preserving predicate. *)
+let run_containment_campaign ?(log = fun _ -> ()) ?(max_states = 2_000)
+    ~first_seed ~count () =
+  let findings = ref [] in
+  let contained = ref 0 and refuted = ref 0 and inconclusive = ref 0 in
+  let fail seed fmt =
+    Printf.ksprintf
+      (fun detail ->
+        log (Printf.sprintf "seed %d: %s" seed detail);
+        findings := { Analysis_arm.seed; detail } :: !findings)
+      fmt
+  in
+  for seed = first_seed to first_seed + count - 1 do
+    let case = Workload.Rand_gen.case seed in
+    let v1 = case.schema in
+    let rng = Workload.Prng.create ((seed * 2) + 1) in
+    let v2 = mutate_schema rng v1 in
+    let fuzz_graph, _ = Workload.Rand_gen.graph_for rng v2 in
+    let compat = Analysis.check_compat ~max_states v1 v2 in
+    List.iter
+      (fun (it : Analysis.compat_item) ->
+        let l = it.Analysis.label in
+        match it.Analysis.verdict with
+        | Analysis.Inconclusive _ -> incr inconclusive
+        | Analysis.Contained ->
+            incr contained;
+            List.iter
+              (fun g ->
+                let s1 = Shex.Validate.session v1 g
+                and s2 = Shex.Validate.session v2 g in
+                List.iter
+                  (fun n ->
+                    if
+                      Shex.Validate.check_bool s1 n l
+                      && not (Shex.Validate.check_bool s2 n l)
+                    then
+                      fail seed
+                        "containment claim v1@<%s> ⊑ v2 refuted by fuzzing \
+                         at node %s"
+                        (Shex.Label.to_string l) (Rdf.Term.to_string n))
+                  (fuzz_nodes case g))
+              [ case.graph; fuzz_graph ]
+        | Analysis.Refuted w ->
+            incr refuted;
+            let holds g focus =
+              let s1 = Shex.Validate.session v1 g
+              and s2 = Shex.Validate.session v2 g in
+              Shex.Validate.check_bool s1 focus l
+              && not (Shex.Validate.check_bool s2 focus l)
+            in
+            if not (holds w.Analysis.graph w.Analysis.focus) then
+              fail seed
+                "counterexample for <%s> does not replay (must satisfy v1, \
+                 fail v2)"
+                (Shex.Label.to_string l)
+            else begin
+              (* Turtle round-trip (blank-node foci are renamed by
+                 reserialisation, so only IRI/literal foci replay) *)
+              (match w.Analysis.focus with
+              | Rdf.Term.Bnode _ -> ()
+              | _ -> (
+                  match Turtle.Parse.parse_graph (Analysis.witness_turtle w) with
+                  | Error e ->
+                      fail seed "witness Turtle does not parse back: %s" e
+                  | Ok g ->
+                      if not (holds g w.Analysis.focus) then
+                        fail seed
+                          "witness for <%s> stops replaying after a Turtle \
+                           round-trip"
+                          (Shex.Label.to_string l)));
+              (* the shrinker must preserve the witness property *)
+              let keep s g assocs =
+                List.for_all
+                  (fun (n, l') ->
+                    let s1 = Shex.Validate.session s g
+                    and s2 = Shex.Validate.session v2 g in
+                    Shex.Validate.check_bool s1 n l'
+                    && not (Shex.Validate.check_bool s2 n l'))
+                  assocs
+              in
+              let s', g', assocs' =
+                shrink_with ~keep v1 w.Analysis.graph [ (w.Analysis.focus, l) ]
+              in
+              if not (keep s' g' assocs') then
+                fail seed
+                  "shrinker destroyed the containment witness for <%s>"
+                  (Shex.Label.to_string l)
+            end)
+      compat.Analysis.items
+  done;
+  { Analysis_arm.seeds_run = count;
+    contained = !contained;
+    refuted = !refuted;
+    inconclusive = !inconclusive;
+    findings = List.rev !findings }
+
+(* Optimizer arm: the pre-validation optimizer must not change the
+   validation report — same verdicts, same blame sets — on either the
+   structural or the interned session path.  The comparison is
+   byte-level after one normalisation: the [explain]/[reason] blame
+   payload is a rendering of the expression under test — a rewritten
+   expression prints different residuals, and pruning a provably-empty
+   disjunct legitimately changes which obligation gets blamed
+   (missing_arcs against the disjunct, blame_triple against ε) — so
+   blame payloads are blanked on both sides before comparing.
+   Everything else — every verdict bit, the conformance counts, node
+   and shape of every entry, entry order — must agree byte for
+   byte. *)
+let rec blank_residuals = function
+  | Json.Object fields ->
+      Json.Object
+        (List.map
+           (fun (k, v) ->
+             match k with
+             | "explain" | "reason" -> (k, Json.String "<blame>")
+             | _ -> (k, blank_residuals v))
+           fields)
+  | Json.Array xs -> Json.Array (List.map blank_residuals xs)
+  | (Json.Null | Json.Bool _ | Json.Number _ | Json.String _) as j -> j
+
+let run_optimizer_campaign ?(log = fun _ -> ()) ?(mode = Workload.Rand_gen.Surface)
+    ~first_seed ~count () =
+  let findings = ref [] in
+  let rewritten = ref 0 in
+  for seed = first_seed to first_seed + count - 1 do
+    let case = Workload.Rand_gen.case ~mode seed in
+    let opt, changed = Analysis.optimize_stats case.schema in
+    if changed > 0 then incr rewritten;
+    List.iter
+      (fun (arm, interned) ->
+        let report schema =
+          let session = Shex.Validate.session ~interned schema case.graph in
+          Json.to_string ~minify:true
+            (blank_residuals
+               (Shex.Report.to_json (Shex.Report.run session case.associations)))
+        in
+        let j1 = report case.schema and j2 = report opt in
+        if j1 <> j2 then begin
+          let detail =
+            Printf.sprintf
+              "optimizer changed the %s report on seed %d (schemas must \
+               validate identically)"
+              arm seed
+          in
+          log detail;
+          findings := { Analysis_arm.seed; detail } :: !findings
+        end)
+      [ ("structural", false); ("interned", true) ]
+  done;
+  { Analysis_arm.seeds_run = count;
+    rewritten = !rewritten;
+    findings = List.rev !findings }

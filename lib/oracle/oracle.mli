@@ -37,16 +37,34 @@ val divergences :
     themselves to the shapes (and, for SPARQL, focus nodes) inside
     their fragments. *)
 
+val shrink_with :
+  keep:
+    (Shex.Schema.t ->
+    Rdf.Graph.t ->
+    (Rdf.Term.t * Shex.Label.t) list ->
+    bool) ->
+  Shex.Schema.t ->
+  Rdf.Graph.t ->
+  (Rdf.Term.t * Shex.Label.t) list ->
+  Shex.Schema.t * Rdf.Graph.t * (Rdf.Term.t * Shex.Label.t) list
+(** Greedy delta-shrink preserving an arbitrary predicate: drop
+    associations, then graph triples, then simplify shape expressions
+    and drop unreferenced rules, to a local minimum; [keep] is called
+    on each candidate and a step is kept only when it returns [true].
+    [keep] must hold on the input or the output is just the input.
+    Used by {!shrink} with "the divergence survives", and by the
+    static-analysis containment arm with "the focus still satisfies S1
+    and fails S2" (S2 closed over by the predicate) — the witness
+    property must survive shrinking, not just some divergence. *)
+
 val shrink :
   Shex.Schema.t ->
   Rdf.Graph.t ->
   (Rdf.Term.t * Shex.Label.t) list ->
   divergence ->
   Shex.Schema.t * Rdf.Graph.t * (Rdf.Term.t * Shex.Label.t) list
-(** Greedy delta-shrink preserving the given divergence (same arm,
-    same kind): drop associations, then graph triples, then simplify
-    shape expressions and drop unreferenced rules, to a local
-    minimum. *)
+(** {!shrink_with} instantiated with "the given divergence (same arm,
+    same kind) survives". *)
 
 (** A shrunk, reproducible divergence from a campaign. *)
 type finding = {
@@ -135,6 +153,62 @@ end
 val edits_repro_to_string : Edits.finding -> string
 (** Like {!repro_to_string} with an extra [%edits] section, one
     [+ <s> <p> <o> .] / [- <s> <p> <o> .] N-Triples line per edit. *)
+
+(** {1 Static-analysis arms}
+
+    Differential checks of [lib/analysis]'s two one-sided verdicts.
+    The containment arm attacks both directions of the soundness
+    contract: a [Contained] claim must survive verdict fuzzing over
+    generated graphs, and a [Refuted] witness must concretely validate
+    under S1 and fail S2 — directly, after a Turtle round-trip, and
+    after delta-shrinking with {!shrink_with}.  The optimizer arm pins
+    optimised ≡ unoptimised down to byte-identical report JSON, modulo
+    one normalisation: the [explain]/[reason] blame payload renders
+    the (rewritten) expression itself and is blanked on both sides;
+    every verdict bit, conformance count, entry node/shape and the
+    entry order are compared byte for byte. *)
+
+module Analysis_arm : sig
+  type finding = { seed : int; detail : string }
+
+  type containment_summary = {
+    seeds_run : int;
+    contained : int;  (** [Contained] verdicts fuzz-checked *)
+    refuted : int;  (** [Refuted] witnesses re-verified *)
+    inconclusive : int;
+    findings : finding list;
+  }
+
+  type optimizer_summary = {
+    seeds_run : int;
+    rewritten : int;  (** seeds where the optimizer changed ≥ 1 shape *)
+    findings : finding list;
+  }
+end
+
+val run_containment_campaign :
+  ?log:(string -> unit) ->
+  ?max_states:int ->
+  first_seed:int ->
+  count:int ->
+  unit ->
+  Analysis_arm.containment_summary
+(** For each seed: generate a workload, derive a semantically mutated
+    v2 (rules kept, widened, or narrowed), run
+    [Analysis.check_compat v1 v2] and attack every verdict as
+    described above.  Any surviving attack is a finding. *)
+
+val run_optimizer_campaign :
+  ?log:(string -> unit) ->
+  ?mode:Workload.Rand_gen.mode ->
+  first_seed:int ->
+  count:int ->
+  unit ->
+  Analysis_arm.optimizer_summary
+(** For each seed: report JSON over the generated associations must be
+    byte-identical (modulo blanked blame payloads, see above) between
+    the original and the optimised schema, on both the structural and
+    interned session paths. *)
 
 val run_edits_campaign :
   ?dir:string ->

@@ -113,7 +113,7 @@ let rec expr_text ctx prec (e : Shex.Rse.t) =
   | Shex.Rse.Star inner ->
       Printf.sprintf "(%s) *" (expr_text ctx 0 inner)
   | Shex.Rse.And (Shex.Rse.Arc a, Shex.Rse.Star (Shex.Rse.Arc a'))
-    when a = a' ->
+    when Shex.Rse.arc_equal a a' ->
       arc_text ctx a ^ " +"
   | Shex.Rse.Or (inner, Shex.Rse.Epsilon)
   | Shex.Rse.Or (Shex.Rse.Epsilon, inner) ->

@@ -29,7 +29,7 @@ Malformed specs are one-line usage errors with exit code 2:
   [2]
 
   $ shex-validate --oracle seeds=5,mode=quantum
-  error: --oracle: mode must be surface, extended or edits (got "quantum")
+  error: --oracle: mode must be surface, extended, edits, containment or optimizer (got "quantum")
   [2]
 
   $ shex-validate --oracle seeds=5,flavour=mild

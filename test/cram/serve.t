@@ -77,7 +77,7 @@ wall-clock- or allocation-dependent is normalised here:
   > EOF
   error: parse: JSON error at 1:2: expected 'u'
   error: missing "cmd" member
-  error: unknown command "frobnicate" (known: load, insert, delete, query, metrics, slowlog, shutdown)
+  error: unknown command "frobnicate" (known: load, insert, delete, query, metrics, analyze, slowlog, shutdown)
   error: missing "triples" member (Turtle text)
   error: triples: lexical error at 1:5: expected ':' after "this"
   error: unknown shape label "Nope" (known: Person)
